@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The expensive
+part — benchmarking the kernel set over the synthetic collection and training
+the models — is done once per session on the profile selected by the
+``SEER_BENCH_PROFILE`` environment variable (default: ``full``, the largest
+synthetic stand-in for SuiteSparse).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.runner import run_sweep
+
+#: Environment variable selecting the collection profile for the benchmarks.
+PROFILE_ENV_VAR = "SEER_BENCH_PROFILE"
+
+
+def bench_profile() -> str:
+    """Collection profile used by the benchmark harness."""
+    return os.environ.get(PROFILE_ENV_VAR, "full")
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    """The end-to-end pipeline run shared by every figure/table benchmark."""
+    return run_sweep(profile=bench_profile())
+
+
+def record(benchmark, **extra_info) -> None:
+    """Attach reproduced numbers to the benchmark's ``extra_info``."""
+    for key, value in extra_info.items():
+        if isinstance(value, float):
+            benchmark.extra_info[key] = round(value, 6)
+        else:
+            benchmark.extra_info[key] = value

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 1: fastest kernel per matrix across the collection."""
+
+from benchmarks.conftest import record
+from repro.experiments.fig1_best_kernel import run_fig1
+
+
+def test_fig1_best_kernel_survey(benchmark, paper_sweep):
+    result = benchmark.pedantic(
+        run_fig1, kwargs={"sweep": paper_sweep}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    record(
+        benchmark,
+        matrices=len(result.points),
+        distinct_winning_kernels=result.distinct_winners,
+        winner_counts=dict(sorted(result.winner_counts.items())),
+    )
+    # The figure's message: no single kernel dominates the collection.
+    assert result.distinct_winners >= 4
+    most_wins = max(result.winner_counts.values())
+    assert most_wins < len(result.points)

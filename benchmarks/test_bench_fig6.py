@@ -1,0 +1,29 @@
+"""Benchmark regenerating Fig. 6: feature-collection cost vs kernel runtime."""
+
+from benchmarks.conftest import record
+from repro.experiments.fig6_feature_cost import run_fig6
+
+
+def test_fig6_feature_collection_cost_sweep(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    print("\n" + result.render())
+    record(
+        benchmark,
+        series=[
+            {
+                "rows": p.rows,
+                "collection_ms": round(p.collection_ms, 4),
+                "csr_bm_ms": round(p.kernel_ms, 4),
+            }
+            for p in sorted(result.points, key=lambda p: p.rows)
+        ],
+        crossover_rows=result.crossover_rows(),
+        paper_crossover_rows=100_000,
+    )
+    points = sorted(result.points, key=lambda p: p.rows)
+    # Small matrices: collection costs at least as much as the kernel.
+    assert points[0].collection_dominates
+    # Large matrices: the kernel dwarfs collection.
+    assert points[-1].kernel_ms > 5.0 * points[-1].collection_ms
+    # Crossover in the paper's ballpark (within roughly an order of magnitude).
+    assert 1e4 <= result.crossover_rows() <= 1e6

@@ -1,0 +1,42 @@
+"""Benchmark regenerating Fig. 7: multi-iteration preprocessing amortization."""
+
+from benchmarks.conftest import record
+from repro.experiments.fig7_multi_iteration import run_fig7
+
+
+def test_fig7_multi_iteration_amortization(benchmark, paper_sweep):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"sweep": paper_sweep}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    record(
+        benchmark,
+        panels=[
+            {
+                "matrix": case.name,
+                "iterations": case.iterations,
+                "oracle_kernel": case.oracle_kernel,
+                "oracle_ms": round(case.oracle_ms, 4),
+                "selector_kernel": case.selector_kernel,
+                "selector_path": case.selector_choice,
+                "selector_ms": round(case.selector_ms, 4),
+            }
+            for case in result.cases
+        ],
+        amortization_flips=result.amortization_flips(),
+    )
+
+    # At a single iteration no preprocessing kernel is ever worth it.
+    for case in result.cases:
+        if case.iterations == 1:
+            assert not case.oracle_uses_preprocessing_kernel
+
+    # By 19 iterations the preprocessing amortizes on some matrices but not
+    # on the very uniform circuit matrix (Fig. 7c/d vs 7a/b and 7e/f).
+    flips = result.amortization_flips()
+    assert len(flips) >= 1
+    assert "G3_Circuit_like" not in flips
+
+    # The selector stays within 2x of the Oracle on every panel.
+    for case in result.cases:
+        assert case.selector_ms <= 2.0 * case.oracle_ms

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (which must build a wheel) are unavailable.  This
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

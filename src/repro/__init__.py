@@ -1,0 +1,82 @@
+"""Seer: predictive runtime kernel selection for irregular problems.
+
+A full reproduction of the CGO 2024 paper "Seer: Predictive Runtime Kernel
+Selection for Irregular Problems" (Swann, Osama, Sangaiah, Mahmud, AMD
+Research) as a self-contained Python library: the Seer training and
+inference abstraction, a from-scratch CART decision tree, the eight SpMV
+kernel variants of the case study on top of an analytical GPU execution
+model, a synthetic SuiteSparse-like matrix collection, and the benchmark
+harness that regenerates every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import run_sweep
+
+    sweep = run_sweep(profile="tiny")
+    print(sweep.test_report.aggregate_table())
+"""
+
+from repro.bench import (
+    EvaluationReport,
+    OraclePredictor,
+    SweepResult,
+    evaluate_dataset,
+    run_sweep,
+)
+from repro.core import (
+    BenchmarkSuite,
+    SeerModels,
+    SeerPredictor,
+    SeerResult,
+    TrainingConfig,
+    TrainingDataset,
+    build_training_dataset,
+    run_benchmark_suite,
+    seer,
+    train_seer_models,
+)
+from repro.gpu import MI100, DeviceSpec, get_device
+from repro.kernels import default_kernels, make_kernel
+from repro.ml import DecisionTreeClassifier, kendall_tau
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    ELLMatrix,
+    build_collection,
+    gathered_features,
+    known_features,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvaluationReport",
+    "OraclePredictor",
+    "SweepResult",
+    "evaluate_dataset",
+    "run_sweep",
+    "BenchmarkSuite",
+    "SeerModels",
+    "SeerPredictor",
+    "SeerResult",
+    "TrainingConfig",
+    "TrainingDataset",
+    "build_training_dataset",
+    "run_benchmark_suite",
+    "seer",
+    "train_seer_models",
+    "MI100",
+    "DeviceSpec",
+    "get_device",
+    "default_kernels",
+    "make_kernel",
+    "DecisionTreeClassifier",
+    "kendall_tau",
+    "COOMatrix",
+    "CSRMatrix",
+    "ELLMatrix",
+    "build_collection",
+    "gathered_features",
+    "known_features",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Benchmark and evaluation harness.
+
+This package turns benchmark suites and trained models into the quantities
+the paper reports: Oracle times, per-predictor end-to-end times including
+selection overheads, accuracies, aggregate runtimes and speedups.
+"""
+
+from repro.bench.oracle import OraclePredictor
+from repro.bench.evaluation import (
+    ApproachTimes,
+    EvaluationReport,
+    evaluate_dataset,
+    predictor_path_time_ms,
+)
+from repro.bench.runner import SweepResult, run_sweep
+
+__all__ = [
+    "OraclePredictor",
+    "ApproachTimes",
+    "EvaluationReport",
+    "evaluate_dataset",
+    "predictor_path_time_ms",
+    "SweepResult",
+    "run_sweep",
+]

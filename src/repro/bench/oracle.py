@@ -1,0 +1,35 @@
+"""The Oracle predictor.
+
+The paper compares every predictor against an Oracle that runs all kernels
+and keeps the fastest — unachievable at runtime but the natural upper bound
+(Section IV).  Here the Oracle simply reads the benchmark measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.dataset import TrainingSample
+
+
+@dataclass(frozen=True)
+class OraclePredictor:
+    """Exhaustive best-kernel selection from measured totals."""
+
+    name: str = "Oracle"
+
+    def select(self, sample: TrainingSample) -> str:
+        """The fastest kernel for this sample (ties broken by name)."""
+        finite = {
+            kernel: total
+            for kernel, total in sample.kernel_total_ms.items()
+            if math.isfinite(total)
+        }
+        if not finite:
+            raise ValueError(f"no runnable kernel for sample {sample.name!r}")
+        return min(finite, key=lambda kernel: (finite[kernel], kernel))
+
+    def time_ms(self, sample: TrainingSample) -> float:
+        """End-to-end time of the Oracle's selection (no selection overhead)."""
+        return sample.kernel_total_ms[self.select(sample)]

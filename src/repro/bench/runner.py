@@ -1,0 +1,111 @@
+"""End-to-end sweep runner.
+
+``run_sweep`` drives the full Seer pipeline on a synthetic collection —
+benchmarking, feature collection, training-set assembly, the 80/20 split,
+model training and evaluation — and returns everything the experiment
+drivers need.  All experiment modules share one sweep per configuration so
+the expensive benchmarking work is done once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.evaluation import EvaluationReport, evaluate_dataset
+from repro.core.benchmarking import BenchmarkSuite, run_benchmark_suite
+from repro.core.dataset import (
+    DEFAULT_ITERATION_COUNTS,
+    TrainingDataset,
+    build_training_dataset,
+)
+from repro.core.inference import SeerPredictor
+from repro.core.training import SeerModels, TrainingConfig, train_seer_models
+from repro.gpu.device import MI100
+from repro.kernels.registry import default_kernels
+from repro.ml.split import train_test_split
+from repro.sparse.collection import iter_collection
+
+#: Train/test split used throughout the paper (Section IV-C).
+TEST_FRACTION = 0.2
+
+
+@dataclass
+class SweepResult:
+    """All artifacts of one end-to-end pipeline run."""
+
+    suite: BenchmarkSuite
+    dataset: TrainingDataset
+    train_set: TrainingDataset
+    test_set: TrainingDataset
+    models: SeerModels
+    predictor: SeerPredictor
+    train_report: EvaluationReport
+    test_report: EvaluationReport
+
+    @property
+    def kernel_names(self) -> list:
+        """Kernel labels of the sweep, in paper order."""
+        return list(self.suite.kernel_names)
+
+
+def run_sweep(
+    profile: str = "small",
+    iteration_counts=DEFAULT_ITERATION_COUNTS,
+    device=MI100,
+    seed: int = 7,
+    split_seed: int = 13,
+    config: TrainingConfig = None,
+    include_rocsparse: bool = True,
+    collection=None,
+) -> SweepResult:
+    """Run the full pipeline and return models plus evaluation reports.
+
+    Parameters
+    ----------
+    profile:
+        Synthetic-collection profile (``tiny``/``small``/``medium``/``full``);
+        ignored when ``collection`` is given.
+    iteration_counts:
+        Iteration counts the training corpus covers.
+    device:
+        Simulated device.
+    seed:
+        Seed of the synthetic collection.
+    split_seed:
+        Seed of the 80/20 train-test split.
+    config:
+        Tree-depth configuration.
+    include_rocsparse:
+        Whether the vendor adaptive kernel joins the kernel set.
+    collection:
+        Pre-built collection (any iterable of records), overriding
+        ``profile``/``seed``.
+    """
+    if collection is None:
+        # Matrices are generated lazily so only one lives in memory at a time.
+        collection = iter_collection(profile, base_seed=seed)
+    kernels = default_kernels(device, include_rocsparse=include_rocsparse)
+    suite = run_benchmark_suite(collection, kernels=kernels, device=device)
+    dataset = build_training_dataset(suite, iteration_counts)
+
+    labels = dataset.labels()
+    train_idx, test_idx = train_test_split(
+        len(dataset), TEST_FRACTION, seed=split_seed, stratify=labels
+    )
+    train_set = dataset.subset(train_idx)
+    test_set = dataset.subset(test_idx)
+
+    models = train_seer_models(train_set, config)
+    predictor = SeerPredictor(models, device=device)
+    train_report = evaluate_dataset(train_set, models, predictor)
+    test_report = evaluate_dataset(test_set, models, predictor)
+    return SweepResult(
+        suite=suite,
+        dataset=dataset,
+        train_set=train_set,
+        test_set=test_set,
+        models=models,
+        predictor=predictor,
+        train_report=train_report,
+        test_report=test_report,
+    )

@@ -1,0 +1,114 @@
+"""Command-line interface for the Seer reproduction.
+
+``seer-repro`` (or ``python -m repro``) exposes the pipeline stages and the
+per-figure experiment drivers:
+
+.. code-block:: console
+
+   seer-repro sweep --profile small --output-dir out/   # benchmark + train
+   seer-repro fig1                                        # Fig. 1 series
+   seer-repro fig5 --profile full                         # Fig. 5 a-d
+   seer-repro fig6                                        # Fig. 6 series
+   seer-repro fig7                                        # Fig. 7 panels
+   seer-repro table1                                      # Table I
+   seer-repro table3                                      # Table III
+   seer-repro accuracy                                    # Section IV-C numbers
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.runner import run_sweep
+from repro.core.codegen import write_cpp_header, write_python_module
+from repro.experiments import (
+    run_accuracy_table,
+    run_fig1,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table1,
+    run_table3,
+)
+from repro.experiments.common import DEFAULT_PROFILE
+
+
+def _add_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        default=DEFAULT_PROFILE,
+        choices=["tiny", "small", "medium", "full"],
+        help="synthetic collection profile to benchmark on",
+    )
+
+
+def _cmd_sweep(args) -> int:
+    sweep = run_sweep(profile=args.profile)
+    report = sweep.test_report
+    print(f"benchmarked {len(sweep.suite)} matrices, {len(sweep.dataset)} samples")
+    print(f"known/gathered accuracy: {report.accuracy('Known'):.2f} / "
+          f"{report.accuracy('Gathered'):.2f}")
+    print(f"selector routing accuracy: {report.selector_choice_accuracy():.2f}")
+    print(f"selector slowdown vs Oracle: {report.slowdown_vs_oracle():.2f}x")
+    if args.output_dir:
+        output = Path(args.output_dir)
+        sweep.suite.save(output)
+        write_cpp_header(sweep.models, output / "seer_models.h")
+        write_python_module(sweep.models, output / "seer_models.py")
+        print(f"wrote CSVs and generated models to {output}")
+    return 0
+
+
+def _cmd_experiment(runner, needs_profile=True):
+    def command(args) -> int:
+        if needs_profile:
+            result = runner(profile=args.profile)
+        else:
+            result = runner()
+        print(result.render())
+        return 0
+
+    return command
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="seer-repro",
+        description="Seer (CGO 2024) reproduction: benchmarking, training and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="run the full pipeline and optionally export CSVs")
+    _add_profile(sweep)
+    sweep.add_argument("--output-dir", default=None, help="directory for CSVs and generated headers")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    experiments = {
+        "fig1": (run_fig1, True, "fastest-kernel-per-matrix survey (Fig. 1)"),
+        "fig5": (run_fig5, True, "single-iteration predictor comparison (Fig. 5)"),
+        "fig6": (run_fig6, False, "feature-collection cost sweep (Fig. 6)"),
+        "fig7": (run_fig7, True, "multi-iteration amortization study (Fig. 7)"),
+        "table1": (run_table1, False, "capability comparison (Table I)"),
+        "table3": (run_table3, True, "Kendall correlations (Table III)"),
+        "accuracy": (run_accuracy_table, True, "model accuracies (Section IV-C)"),
+    }
+    for name, (runner, needs_profile, help_text) in experiments.items():
+        sub_parser = sub.add_parser(name, help=help_text)
+        if needs_profile:
+            _add_profile(sub_parser)
+        sub_parser.set_defaults(func=_cmd_experiment(runner, needs_profile))
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

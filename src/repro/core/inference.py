@@ -1,0 +1,158 @@
+"""Runtime inference (Fig. 3 of the paper).
+
+At runtime Seer first consults the classifier-selection model using only the
+trivially known features.  If it answers "known", the known-feature
+classifier picks the kernel immediately and no extra work is done.  If it
+answers "gathered", the feature-collection kernels are run (paying their
+cost), and the gathered-feature classifier picks the kernel from the full
+feature vector.  Decision-tree evaluation itself is a handful of compares —
+negligible, but accounted for, exactly as the paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.training import USE_GATHERED, USE_KNOWN, SeerModels
+from repro.gpu.device import DeviceSpec, MI100
+from repro.kernels.feature_kernels import FeatureCollector
+from repro.kernels.registry import make_kernel
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.features import GatheredFeatures, KnownFeatures, known_features
+
+#: Cost of evaluating one decision tree at runtime (milliseconds).  A tree of
+#: depth <= 8 is a few compares and branches; the value is deliberately tiny
+#: but non-zero so it shows up in the accounting.
+TREE_EVALUATION_MS = 0.0005
+
+
+@dataclass(frozen=True)
+class SelectionDecision:
+    """Outcome of one runtime kernel selection."""
+
+    matrix_name: str
+    iterations: int
+    selector_choice: str
+    kernel_name: str
+    known: KnownFeatures
+    gathered: GatheredFeatures
+    collection_time_ms: float
+    inference_time_ms: float
+
+    @property
+    def collected_features(self) -> bool:
+        """Whether the gathered path (feature collection) was taken."""
+        return self.selector_choice == USE_GATHERED
+
+    @property
+    def overhead_ms(self) -> float:
+        """Total selection overhead: tree evaluations plus collection cost."""
+        return self.inference_time_ms + self.collection_time_ms
+
+
+@dataclass
+class ExecutionResult:
+    """A selection decision plus the execution of the selected kernel."""
+
+    decision: SelectionDecision
+    run: object
+
+    @property
+    def total_ms(self) -> float:
+        """Selection overhead plus kernel preprocessing and iterations."""
+        return self.decision.overhead_ms + self.run.total_ms
+
+
+class SeerPredictor:
+    """Deployable runtime predictor built from the trained models."""
+
+    def __init__(
+        self,
+        models: SeerModels,
+        device: DeviceSpec = MI100,
+        collector: FeatureCollector = None,
+    ):
+        self.models = models
+        self.device = device
+        self.collector = collector or FeatureCollector(device)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self, matrix: CSRMatrix, iterations: int = 1, name: str = "matrix"
+    ) -> SelectionDecision:
+        """Select a kernel for ``matrix`` following the Fig. 3 flow."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        known = known_features(matrix, iterations)
+        return self._decide(known, name, lambda: self.collector.collect(matrix))
+
+    def predict_from_features(
+        self,
+        known: KnownFeatures,
+        gathered: GatheredFeatures,
+        collection_time_ms: float,
+        name: str = "matrix",
+    ) -> SelectionDecision:
+        """Select a kernel from pre-computed features (no matrix access).
+
+        This is the entry point the evaluation harness uses: the benchmark
+        sweep already measured the gathered features and their collection
+        cost, so re-simulating collection here would double-count it.
+        """
+
+        class _PrecomputedCollection:
+            features = gathered.with_collection_time(collection_time_ms)
+            collection_time_ms_ = collection_time_ms
+
+        def _collect():
+            return _PrecomputedCollection()
+
+        return self._decide(known, name, _collect)
+
+    def _decide(self, known: KnownFeatures, name: str, collect) -> SelectionDecision:
+        known_vector = known.as_vector()
+        selector_choice = self.models.predict_selector(known_vector)
+        inference_ms = TREE_EVALUATION_MS  # the selector evaluation
+        if selector_choice == USE_GATHERED:
+            collection = collect()
+            gathered = collection.features
+            collection_ms = gathered.collection_time_ms
+            kernel_name = self.models.predict_gathered(
+                known_vector, gathered.as_vector()
+            )
+        else:
+            selector_choice = USE_KNOWN
+            gathered = GatheredFeatures(0.0, 0.0, 0.0, 0.0)
+            collection_ms = 0.0
+            kernel_name = self.models.predict_known(known_vector)
+        inference_ms += TREE_EVALUATION_MS  # the chosen classifier evaluation
+        return SelectionDecision(
+            matrix_name=name,
+            iterations=known.iterations,
+            selector_choice=selector_choice,
+            kernel_name=kernel_name,
+            known=known,
+            gathered=gathered,
+            collection_time_ms=collection_ms,
+            inference_time_ms=inference_ms,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        matrix: CSRMatrix,
+        x: np.ndarray,
+        iterations: int = 1,
+        name: str = "matrix",
+    ) -> ExecutionResult:
+        """Select a kernel and run it on ``matrix`` and ``x``."""
+        decision = self.predict(matrix, iterations, name)
+        kernel = make_kernel(decision.kernel_name, self.device)
+        run = kernel.run(matrix, x, iterations)
+        return ExecutionResult(decision=decision, run=run)

@@ -1,0 +1,152 @@
+"""The ``seer()`` entry point (Section III-D of the paper).
+
+The paper's training script is invoked as::
+
+    seer(runtime, preprocessing_data, features)
+
+where the three arguments are the aggregated CSV artifacts of the GPU
+benchmarking and feature-collection stages.  This module reproduces that
+call signature: each argument may be an in-memory table or a path to the
+corresponding CSV file, and the result bundles the trained models, the
+generated C++ header and the deployable :class:`SeerPredictor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core import csv_schemas
+from repro.core.benchmarking import BenchmarkSuite, MatrixMeasurement
+from repro.core.codegen import models_to_cpp_header, models_to_python_module, write_cpp_header
+from repro.core.dataset import DEFAULT_ITERATION_COUNTS, build_training_dataset
+from repro.core.inference import SeerPredictor
+from repro.core.training import SeerModels, TrainingConfig, train_seer_models
+from repro.gpu.device import DeviceSpec, MI100
+from repro.sparse.features import GatheredFeatures, KnownFeatures
+
+
+@dataclass
+class SeerResult:
+    """Everything produced by one ``seer()`` training invocation."""
+
+    models: SeerModels
+    predictor: SeerPredictor
+    cpp_header: str
+    python_module: str
+    header_path: Path = None
+
+    def save_header(self, path) -> Path:
+        """Write the generated C++ header to ``path``."""
+        self.header_path = write_cpp_header(self.models, path)
+        return self.header_path
+
+
+def _load_table(table_or_path):
+    """Accept an aggregate table dict or a CSV path."""
+    if isinstance(table_or_path, (str, Path)):
+        _, table = csv_schemas.read_aggregate_csv(table_or_path)
+        return table
+    return table_or_path
+
+
+def _load_features(features_or_path):
+    """Accept a feature-rows dict or a CSV path."""
+    if isinstance(features_or_path, (str, Path)):
+        _, rows = csv_schemas.read_feature_csv(features_or_path)
+        return rows
+    return features_or_path
+
+
+def suite_from_tables(runtime, preprocessing_data, features, known) -> BenchmarkSuite:
+    """Assemble a :class:`BenchmarkSuite` from the four pipeline tables."""
+    runtime = _load_table(runtime)
+    preprocessing_data = _load_table(preprocessing_data)
+    features = _load_features(features)
+    known = _load_features(known)
+
+    names = sorted(runtime)
+    if not names:
+        raise ValueError("the runtime table is empty")
+    kernel_names = sorted(runtime[names[0]])
+    measurements = []
+    for name in names:
+        if name not in preprocessing_data or name not in features or name not in known:
+            raise KeyError(f"matrix {name!r} missing from one of the input tables")
+        gathered_values, collection_time = features[name]
+        known_values, _ = known[name]
+        measurements.append(
+            MatrixMeasurement(
+                name=name,
+                known=KnownFeatures(
+                    rows=int(known_values["rows"]),
+                    cols=int(known_values["cols"]),
+                    nnz=int(known_values["nnz"]),
+                    iterations=int(known_values.get("iterations", 1)),
+                ),
+                gathered=GatheredFeatures(
+                    max_row_density=gathered_values["max_row_density"],
+                    min_row_density=gathered_values["min_row_density"],
+                    mean_row_density=gathered_values["mean_row_density"],
+                    var_row_density=gathered_values["var_row_density"],
+                    collection_time_ms=collection_time,
+                ),
+                kernel_runtime_ms=dict(runtime[name]),
+                kernel_preprocessing_ms=dict(preprocessing_data[name]),
+            )
+        )
+    return BenchmarkSuite(kernel_names=kernel_names, measurements=measurements)
+
+
+def seer(
+    runtime,
+    preprocessing_data,
+    features,
+    known=None,
+    iteration_counts=DEFAULT_ITERATION_COUNTS,
+    config: TrainingConfig = None,
+    device: DeviceSpec = MI100,
+    header_path=None,
+) -> SeerResult:
+    """Train the Seer models from benchmarking and feature-collection data.
+
+    Parameters
+    ----------
+    runtime, preprocessing_data:
+        Aggregate tables (``{matrix: {kernel: ms}}``) or paths to the
+        corresponding CSV files.
+    features:
+        Gathered-feature rows (``{matrix: (feature_dict, collection_ms)}``)
+        or a path to the feature CSV.
+    known:
+        Known-feature rows in the same layout; may be omitted when
+        ``runtime`` is already a :class:`BenchmarkSuite`.
+    iteration_counts:
+        Iteration counts the training corpus is expanded over.
+    config:
+        Tree-depth configuration.
+    device:
+        Device the deployed predictor's feature collector is simulated on.
+    header_path:
+        When given, the generated C++ header is also written to this path.
+    """
+    if isinstance(runtime, BenchmarkSuite):
+        suite = runtime
+    else:
+        if known is None:
+            raise ValueError(
+                "the known-feature table is required when passing raw tables"
+            )
+        suite = suite_from_tables(runtime, preprocessing_data, features, known)
+
+    dataset = build_training_dataset(suite, iteration_counts)
+    models = train_seer_models(dataset, config)
+    result = SeerResult(
+        models=models,
+        predictor=SeerPredictor(models, device=device),
+        cpp_header=models_to_cpp_header(models),
+        python_module=models_to_python_module(models),
+    )
+    if header_path is not None:
+        result.save_header(header_path)
+    return result

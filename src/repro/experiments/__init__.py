@@ -1,0 +1,32 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Each driver returns a structured result object and can print the rows or
+series the corresponding table/figure reports.  The benchmark harness under
+``benchmarks/`` calls these drivers; ``python -m repro <experiment>`` runs
+them from the command line.
+"""
+
+from repro.experiments.accuracy_table import AccuracyResult, run_accuracy_table
+from repro.experiments.fig1_best_kernel import Fig1Result, run_fig1
+from repro.experiments.fig5_single_iteration import Fig5Result, run_fig5
+from repro.experiments.fig6_feature_cost import Fig6Result, run_fig6
+from repro.experiments.fig7_multi_iteration import Fig7Result, run_fig7
+from repro.experiments.table1_features import Table1Result, run_table1
+from repro.experiments.table3_kendall import Table3Result, run_table3
+
+__all__ = [
+    "AccuracyResult",
+    "run_accuracy_table",
+    "Fig1Result",
+    "run_fig1",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "run_fig6",
+    "Fig7Result",
+    "run_fig7",
+    "Table1Result",
+    "run_table1",
+    "Table3Result",
+    "run_table3",
+]

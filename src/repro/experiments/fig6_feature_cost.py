@@ -1,0 +1,108 @@
+"""Figure 6: feature-collection cost vs. kernel runtime as rows grow.
+
+The paper plots the cost of running the feature-collection kernels against
+the runtime of the CSR,BM kernel for matrices of increasing row count.  For
+small matrices collection costs as much as (or more than) the SpMV itself —
+so collecting features for a single-iteration run cannot pay off — while
+past roughly 10^5 rows the kernel runtime grows faster than the collection
+cost and gathering becomes affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import format_table
+from repro.gpu.device import MI100
+from repro.kernels.csr_block import CsrBlockMapped
+from repro.kernels.feature_kernels import FeatureCollector
+from repro.sparse.generators import power_law_matrix
+
+#: Row counts of the sweep (the paper sweeps roughly 10 to 10^7 rows).
+DEFAULT_ROW_COUNTS = (10, 100, 1_000, 10_000, 100_000, 1_000_000, 4_000_000)
+
+#: Average row length of the sweep matrices (mildly irregular, FEM-like).
+SWEEP_AVG_ROW_LENGTH = 8.0
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One x-position of the Fig. 6 plot."""
+
+    rows: int
+    nnz: int
+    collection_ms: float
+    kernel_ms: float
+
+    @property
+    def collection_dominates(self) -> bool:
+        """Whether gathering features costs more than running the kernel."""
+        return self.collection_ms >= self.kernel_ms
+
+
+@dataclass
+class Fig6Result:
+    """The two series of Fig. 6 plus the crossover estimate."""
+
+    points: list = field(default_factory=list)
+
+    def crossover_rows(self) -> float:
+        """Smallest swept row count where the kernel outweighs collection.
+
+        Returns ``inf`` when collection dominates across the whole sweep.
+        """
+        for point in sorted(self.points, key=lambda p: p.rows):
+            if not point.collection_dominates:
+                return float(point.rows)
+        return float("inf")
+
+    def to_rows(self) -> list:
+        """Rows (rows, nnz, collection_ms, CSR,BM ms, collection dominates)."""
+        return [
+            (
+                p.rows,
+                p.nnz,
+                round(p.collection_ms, 4),
+                round(p.kernel_ms, 4),
+                "yes" if p.collection_dominates else "no",
+            )
+            for p in sorted(self.points, key=lambda p: p.rows)
+        ]
+
+    def render(self) -> str:
+        """Printable Fig. 6 series."""
+        return (
+            "Fig. 6 — feature-collection cost vs CSR,BM runtime\n"
+            + format_table(
+                ["rows", "nnz", "collection ms", "CSR,BM ms", "collection >= kernel"],
+                self.to_rows(),
+            )
+            + f"\ncrossover at ~{self.crossover_rows():.0f} rows "
+            "(paper: ~100,000 rows)"
+        )
+
+
+def run_fig6(row_counts=DEFAULT_ROW_COUNTS, device=MI100, seed: int = 5) -> Fig6Result:
+    """Sweep matrix sizes and compare collection cost with CSR,BM runtime."""
+    collector = FeatureCollector(device)
+    kernel = CsrBlockMapped(device)
+    result = Fig6Result()
+    for index, rows in enumerate(row_counts):
+        matrix = power_law_matrix(
+            num_rows=int(rows),
+            num_cols=int(rows),
+            avg_row_length=SWEEP_AVG_ROW_LENGTH,
+            exponent=2.4,
+            rng=seed + index,
+        )
+        collection_ms = collector.collection_time_ms(matrix)
+        kernel_ms = kernel.timing(matrix).iteration_ms
+        result.points.append(
+            Fig6Point(
+                rows=int(rows),
+                nnz=matrix.nnz,
+                collection_ms=collection_ms,
+                kernel_ms=kernel_ms,
+            )
+        )
+    return result

@@ -1,0 +1,97 @@
+"""Table I: capability comparison of Seer against prior autotuners.
+
+Table I of the paper is a qualitative checklist of framework capabilities
+(preprocessing amortization, feature-collection cost, classifier-selection
+model, general abstraction, sparse case study, compressed formats,
+explainability) across Seer, Nitro, WISE and spECK.  The prior-work columns
+are literature facts reproduced verbatim; the Seer column is *checked
+against this implementation*: each claimed capability maps to a concrete
+artifact in the code base, and the driver verifies that artifact exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataset import TrainingSample
+from repro.core.inference import SeerPredictor
+from repro.core.training import USE_GATHERED, USE_KNOWN
+from repro.experiments.common import format_table
+from repro.kernels.feature_kernels import FeatureCollector
+from repro.kernels.registry import KERNEL_CLASSES
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.sparse.features import KNOWN_FEATURE_NAMES
+
+#: Capability rows of Table I with the published prior-work entries.
+PRIOR_WORK_COLUMNS = ("Nitro", "WISE", "spECK")
+
+TABLE1_ROWS = {
+    "Preprocessing Amortization": {"Nitro": False, "WISE": False, "spECK": False},
+    "Feature Collection Cost": {"Nitro": False, "WISE": False, "spECK": True},
+    "Classifier Selection Model": {"Nitro": False, "WISE": False, "spECK": False},
+    "General Abstraction": {"Nitro": True, "WISE": False, "spECK": False},
+    "Sparse Case Study": {"Nitro": True, "WISE": True, "spECK": True},
+    "Compressed Formats": {"Nitro": True, "WISE": True, "spECK": True},
+    "Explainability": {"Nitro": False, "WISE": True, "spECK": False},
+}
+
+
+@dataclass
+class Table1Result:
+    """Capability matrix plus the verification of each Seer capability."""
+
+    capabilities: dict = field(default_factory=dict)
+    verification: dict = field(default_factory=dict)
+
+    def seer_supports_all(self) -> bool:
+        """Whether every Seer capability claimed in Table I is implemented."""
+        return all(self.verification.values())
+
+    def to_rows(self) -> list:
+        """Rows matching the paper's layout: feature, Seer, Nitro, WISE, spECK."""
+        rows = []
+        for feature, prior in TABLE1_ROWS.items():
+            rows.append(
+                (
+                    feature,
+                    "yes" if self.verification.get(feature, False) else "no",
+                    *("yes" if prior[column] else "no" for column in PRIOR_WORK_COLUMNS),
+                )
+            )
+        return rows
+
+    def render(self) -> str:
+        """Printable Table I."""
+        return "Table I — feature comparison\n" + format_table(
+            ["Feature", "Seer (this repo)", *PRIOR_WORK_COLUMNS], self.to_rows()
+        )
+
+
+def _verify_capabilities() -> dict:
+    """Map each Seer capability of Table I to evidence in this code base."""
+    return {
+        # The training corpus carries an explicit iteration count and kernel
+        # totals are preprocessing + iterations x runtime.
+        "Preprocessing Amortization": "iterations" in KNOWN_FEATURE_NAMES
+        and hasattr(TrainingSample, "total_ms"),
+        # Feature collection has a simulated cost that the selector weighs.
+        "Feature Collection Cost": hasattr(FeatureCollector, "collection_time_ms"),
+        # The classifier-selection model is a first-class citizen of the
+        # deployed predictor.
+        "Classifier Selection Model": USE_KNOWN != USE_GATHERED
+        and hasattr(SeerPredictor, "predict"),
+        # The abstraction is not SpMV-specific: kernels are pluggable classes
+        # behind a registry and the trainer only sees runtime/feature tables.
+        "General Abstraction": len(KERNEL_CLASSES) >= 2,
+        "Sparse Case Study": {"CSR,TM", "COO,WM", "ELL,TM"} <= set(KERNEL_CLASSES),
+        "Compressed Formats": len(
+            {cls.sparse_format for cls in KERNEL_CLASSES.values()}
+        ) >= 3,
+        # Decision trees can be printed as if/else text and exported as code.
+        "Explainability": hasattr(DecisionTreeClassifier, "export_text"),
+    }
+
+
+def run_table1() -> Table1Result:
+    """Build Table I and verify the Seer column against the implementation."""
+    return Table1Result(capabilities=dict(TABLE1_ROWS), verification=_verify_capabilities())

@@ -1,0 +1,91 @@
+"""Table III: Kendall correlation between kernel runtimes and features.
+
+For every kernel, the paper reports the Kendall rank-correlation coefficient
+between the kernel's per-matrix runtime and each feature (rows, nnz, max /
+min / mean / variance of row density) across the dataset.  Row-mapped
+schedules correlate most with the number of rows, work-oriented schedules
+with the number of nonzeros — the monotonic relationships the predictor
+exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.common import DEFAULT_PROFILE, format_table, resolve_sweep
+from repro.ml.kendall import kendall_tau
+
+#: Feature columns of Table III, in paper order.
+TABLE3_FEATURES = ("rows", "nnz", "most", "least", "avg", "var")
+
+
+def _feature_value(measurement, feature: str) -> float:
+    if feature == "rows":
+        return float(measurement.known.rows)
+    if feature == "nnz":
+        return float(measurement.known.nnz)
+    if feature == "most":
+        return measurement.gathered.max_row_density
+    if feature == "least":
+        return measurement.gathered.min_row_density
+    if feature == "avg":
+        return measurement.gathered.mean_row_density
+    if feature == "var":
+        return measurement.gathered.var_row_density
+    raise KeyError(feature)
+
+
+@dataclass
+class Table3Result:
+    """Kendall correlation of every kernel's runtime with every feature."""
+
+    correlations: dict = field(default_factory=dict)
+    feature_names: tuple = TABLE3_FEATURES
+
+    def row_for(self, kernel: str) -> dict:
+        """Correlation row of one kernel."""
+        return self.correlations[kernel]
+
+    def to_rows(self) -> list:
+        """Rows (kernel, tau per feature) in kernel order."""
+        rows = []
+        for kernel, values in self.correlations.items():
+            rows.append(
+                (kernel, *(round(values[feature], 2) for feature in self.feature_names))
+            )
+        return rows
+
+    def render(self) -> str:
+        """Printable Table III."""
+        return "Table III — Kendall correlation (|tau|)\n" + format_table(
+            ["Load-Balancing Alg.", *self.feature_names], self.to_rows()
+        )
+
+
+def run_table3(profile: str = DEFAULT_PROFILE, sweep=None) -> Table3Result:
+    """Compute the Table III correlations on the synthetic collection.
+
+    As in the paper, the statistic relates single-iteration kernel runtimes
+    to the matrix features; the absolute value of tau is reported (the sign
+    only encodes whether runtime grows or shrinks with the feature).
+    """
+    sweep = resolve_sweep(sweep, profile)
+    measurements = list(sweep.suite)
+    result = Table3Result()
+    for kernel in sweep.kernel_names:
+        runtimes = np.array(
+            [m.kernel_total_ms(kernel, 1) for m in measurements], dtype=np.float64
+        )
+        finite = np.isfinite(runtimes)
+        row = {}
+        for feature in TABLE3_FEATURES:
+            values = np.array(
+                [_feature_value(m, feature) for m in measurements], dtype=np.float64
+            )
+            tau = kendall_tau(values[finite], runtimes[finite])
+            row[feature] = abs(tau) if not math.isnan(tau) else float("nan")
+        result.correlations[kernel] = row
+    return result

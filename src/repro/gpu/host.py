@@ -1,0 +1,40 @@
+"""Sequential host (CPU) cost model.
+
+Several kernels in the case study have a preprocessing stage that runs on the
+host — most importantly the sequential row binning of Adaptive-CSR (Daga &
+Greathouse) and the format conversions (CSR to ELL / COO).  The host is
+modelled as a sequential machine with a fixed cost per element plus a fixed
+per-call overhead; it is deliberately much slower per element than the
+device, which is what creates the preprocessing-amortization trade-off the
+multi-iteration study (Fig. 7) exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec, MI100
+
+#: Fixed overhead of one host-side preprocessing call, in milliseconds.
+HOST_CALL_OVERHEAD_MS = 0.02
+
+
+@dataclass(frozen=True)
+class HostModel:
+    """Cost model for sequential host work tied to a device description."""
+
+    device: DeviceSpec = MI100
+
+    def sequential_time_ms(self, num_ops: float, ops_per_element: float = 1.0) -> float:
+        """Time to process ``num_ops`` elements sequentially on the host."""
+        if num_ops < 0:
+            raise ValueError("num_ops must be non-negative")
+        elements = num_ops * ops_per_element
+        return HOST_CALL_OVERHEAD_MS + elements * self.device.host_ns_per_op * 1e-6
+
+    def transfer_time_ms(self, num_bytes: float) -> float:
+        """Time to copy ``num_bytes`` between host and device over PCIe."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        pcie_gb_s = 16.0
+        return self.device.host_transfer_ms + num_bytes / pcie_gb_s * 1e-6

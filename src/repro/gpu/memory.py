@@ -1,0 +1,49 @@
+"""Memory-system model.
+
+The model is intentionally simple: streaming accesses (values, column
+indices, row offsets, the output vector) move at full DRAM bandwidth, while
+gathers from the dense input vector cost more per access when the vector does
+not fit in the last-level cache.  That single distinction is enough to
+reproduce the paper-level effects: large random matrices become memory-bound
+and formats with extra padding (ELL) or extra per-nonzero metadata (COO) pay
+for it.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import DeviceSpec
+
+#: Bytes of one double-precision value.
+VALUE_BYTES = 8
+
+#: Bytes of one 32-bit index (column index, row index, row offset).
+INDEX_BYTES = 4
+
+#: Bytes fetched per gather when the source vector fits in the LLC.
+CACHED_GATHER_BYTES = 8
+
+#: Bytes fetched per gather when the source vector spills to DRAM (a partial
+#: cache line is wasted on average).
+UNCACHED_GATHER_BYTES = 24
+
+
+def gather_bytes_per_access(device: DeviceSpec, vector_bytes: float) -> float:
+    """Effective bytes moved per random gather from a vector of given size."""
+    if vector_bytes <= device.l2_cache_bytes:
+        return CACHED_GATHER_BYTES
+    return UNCACHED_GATHER_BYTES
+
+
+def effective_bandwidth_gb_s(device: DeviceSpec, utilization: float = 1.0) -> float:
+    """Bandwidth available to a launch, scaled by an utilization factor."""
+    utilization = min(max(utilization, 0.0), 1.0)
+    return device.mem_bandwidth_gb_s * utilization
+
+
+def memory_time_ms(device: DeviceSpec, bytes_moved: float, utilization: float = 1.0) -> float:
+    """Time to move ``bytes_moved`` bytes at the effective bandwidth."""
+    bandwidth = effective_bandwidth_gb_s(device, utilization)
+    if bandwidth <= 0.0:
+        raise ValueError("effective bandwidth must be positive")
+    # bytes / (GB/s) = ns; convert to ms.
+    return bytes_moved / bandwidth * 1e-6

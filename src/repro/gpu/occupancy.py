@@ -1,0 +1,34 @@
+"""Occupancy model.
+
+Occupancy determines how many wavefronts execute concurrently.  The model
+keeps the two inputs that matter for the SpMV variants: the device limit
+(compute units x waves per CU) and an optional per-workgroup resource factor
+for kernels that use a lot of LDS/registers (block-mapped and merge-path
+variants), which reduces how many waves a CU can keep resident.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import DeviceSpec
+
+
+def wavefront_slots(device: DeviceSpec, occupancy_factor: float = 1.0) -> int:
+    """Number of wavefronts the device executes concurrently.
+
+    ``occupancy_factor`` in (0, 1] scales the per-CU wave count for kernels
+    whose register/LDS footprint limits residency.
+    """
+    if not 0.0 < occupancy_factor <= 1.0:
+        raise ValueError("occupancy_factor must be in (0, 1]")
+    waves = max(1, int(round(device.max_waves_per_cu * occupancy_factor)))
+    return device.num_cus * waves
+
+
+def workgroup_slots(
+    device: DeviceSpec, waves_per_workgroup: int, occupancy_factor: float = 1.0
+) -> int:
+    """Number of workgroups the device executes concurrently."""
+    if waves_per_workgroup < 1:
+        raise ValueError("waves_per_workgroup must be >= 1")
+    slots = wavefront_slots(device, occupancy_factor)
+    return max(1, slots // waves_per_workgroup)

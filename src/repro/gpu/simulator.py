@@ -1,0 +1,196 @@
+"""Kernel-launch timing model.
+
+A kernel launch is described by the per-wavefront cycle counts the kernel
+derived from the input structure (each count already folds SIMD lockstep in:
+it is the *maximum* lane cost within that wavefront) plus the total number of
+bytes the launch moves through the memory system.
+
+The launch time is a roofline combined with list-scheduling of wavefronts
+onto the finite number of concurrent hardware slots:
+
+``compute_ms  = max(sum(cycles) / slots, max(cycles)) * cycle_time``
+``memory_ms   = bytes / (bandwidth * utilization)``
+``serial_ms   = serial_cycles * cycle_time``
+``total_ms    = launch_overhead + max(compute_ms, memory_ms, serial_ms)``
+
+The ``max(cycles)`` term is what makes a single enormous row visible at the
+launch level; the ``sum/slots`` term is what rewards kernels that create
+enough balanced wavefronts to fill the machine.  ``utilization`` models how
+well a kernel's access pattern exploits the DRAM bandwidth (row-per-wavefront
+kernels issue many small transactions and do not reach peak), and
+``serial_cycles`` models device-wide serialized resources such as the global
+atomic unit that COO segmented reductions funnel through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec, MI100
+from repro.gpu.memory import memory_time_ms
+from repro.gpu.occupancy import wavefront_slots
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Timing of one simulated kernel launch (all times in milliseconds)."""
+
+    label: str
+    total_ms: float
+    compute_ms: float
+    memory_ms: float
+    overhead_ms: float
+    num_wavefronts: int
+    bytes_moved: float
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominated: 'compute', 'memory' or 'overhead'."""
+        if self.overhead_ms >= max(self.compute_ms, self.memory_ms):
+            return "overhead"
+        if self.compute_ms >= self.memory_ms:
+            return "compute"
+        return "memory"
+
+
+@dataclass
+class GPUSimulator:
+    """Stateful wrapper that accumulates launch results for a device."""
+
+    device: DeviceSpec = MI100
+    history: list = field(default_factory=list)
+
+    def launch(
+        self,
+        wavefront_cycles,
+        bytes_moved: float,
+        label: str = "kernel",
+        occupancy_factor: float = 1.0,
+        extra_launches: int = 0,
+        bandwidth_utilization: float = 1.0,
+        serial_cycles: float = 0.0,
+    ) -> LaunchResult:
+        """Simulate one launch and record it in the history."""
+        result = simulate_launch(
+            self.device,
+            wavefront_cycles,
+            bytes_moved,
+            label=label,
+            occupancy_factor=occupancy_factor,
+            extra_launches=extra_launches,
+            bandwidth_utilization=bandwidth_utilization,
+            serial_cycles=serial_cycles,
+        )
+        self.history.append(result)
+        return result
+
+    def total_time_ms(self) -> float:
+        """Sum of all recorded launch times."""
+        return float(sum(result.total_ms for result in self.history))
+
+    def reset(self) -> None:
+        """Forget the recorded history."""
+        self.history.clear()
+
+
+def simulate_launch(
+    device: DeviceSpec,
+    wavefront_cycles,
+    bytes_moved: float,
+    label: str = "kernel",
+    occupancy_factor: float = 1.0,
+    extra_launches: int = 0,
+    bandwidth_utilization: float = 1.0,
+    serial_cycles: float = 0.0,
+) -> LaunchResult:
+    """Compute the time of one kernel launch.
+
+    Parameters
+    ----------
+    device:
+        Device description.
+    wavefront_cycles:
+        Array (or scalar sequence) of per-wavefront cycle counts.  Each entry
+        must already be the maximum lane cost of that wavefront.
+    bytes_moved:
+        Total DRAM traffic of the launch in bytes.
+    label:
+        Name recorded in the result (kernel name).
+    occupancy_factor:
+        Residency scaling for resource-hungry kernels, see
+        :func:`repro.gpu.occupancy.wavefront_slots`.
+    extra_launches:
+        Additional kernel launches issued by the same logical operation
+        (e.g. a separate reduction pass); each adds one launch overhead.
+    bandwidth_utilization:
+        Fraction of peak DRAM bandwidth this kernel's access pattern can
+        sustain (1.0 for fully streaming kernels).
+    serial_cycles:
+        Cycles spent on a device-wide serialized resource (e.g. global
+        atomics); modelled as an independent roofline term.
+    """
+    cycles = np.asarray(wavefront_cycles, dtype=np.float64)
+    if cycles.ndim == 0:
+        cycles = cycles.reshape(1)
+    if np.any(cycles < 0):
+        raise ValueError("wavefront cycle counts must be non-negative")
+    if bytes_moved < 0:
+        raise ValueError("bytes_moved must be non-negative")
+    if serial_cycles < 0:
+        raise ValueError("serial_cycles must be non-negative")
+
+    num_wavefronts = int(cycles.shape[0])
+    slots = wavefront_slots(device, occupancy_factor)
+    if num_wavefronts == 0:
+        compute_ms = 0.0
+    else:
+        total_cycles = float(cycles.sum())
+        max_cycles = float(cycles.max())
+        makespan_cycles = max(total_cycles / slots, max_cycles)
+        compute_ms = makespan_cycles * device.cycle_time_ns * 1e-6
+    memory_ms = memory_time_ms(device, bytes_moved, bandwidth_utilization)
+    serial_ms = serial_cycles * device.cycle_time_ns * 1e-6
+    overhead_ms = device.launch_overhead_ms * (1 + max(extra_launches, 0))
+    total_ms = overhead_ms + max(compute_ms, memory_ms, serial_ms)
+    return LaunchResult(
+        label=label,
+        total_ms=total_ms,
+        compute_ms=compute_ms,
+        memory_ms=memory_ms,
+        overhead_ms=overhead_ms,
+        num_wavefronts=num_wavefronts,
+        bytes_moved=float(bytes_moved),
+    )
+
+
+def group_reduce_max(values: np.ndarray, group_size: int) -> np.ndarray:
+    """Maximum of consecutive groups of ``group_size`` entries.
+
+    Used by row-mapped kernels to turn per-row costs into per-wavefront
+    costs: a wavefront of ``group_size`` lanes is as slow as its heaviest
+    lane.  The tail group is padded with zeros.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if values.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    num_groups = -(-values.size // group_size)
+    padded = np.zeros(num_groups * group_size, dtype=np.float64)
+    padded[: values.size] = values
+    return padded.reshape(num_groups, group_size).max(axis=1)
+
+
+def group_reduce_sum(values: np.ndarray, group_size: int) -> np.ndarray:
+    """Sum of consecutive groups of ``group_size`` entries (zero-padded tail)."""
+    values = np.asarray(values, dtype=np.float64)
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if values.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    num_groups = -(-values.size // group_size)
+    padded = np.zeros(num_groups * group_size, dtype=np.float64)
+    padded[: values.size] = values
+    return padded.reshape(num_groups, group_size).sum(axis=1)

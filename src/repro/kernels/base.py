@@ -1,0 +1,210 @@
+"""Kernel abstraction shared by every SpMV variant.
+
+Each kernel variant of Table II is a class with three responsibilities:
+
+* **numeric correctness** — ``run`` produces the SpMV result ``y = A @ x``
+  (computed with the format the kernel operates on where that is feasible);
+* **per-iteration timing** — an analytical translation of the matrix
+  structure into per-wavefront cycle counts and bytes moved, handed to the
+  GPU simulator;
+* **preprocessing timing** — the one-time cost (row binning, analysis
+  passes) that the multi-iteration study amortizes.
+
+The cost-model constants below are shared so kernels differ only where the
+paper says they differ: how work is mapped to lanes, what metadata the
+format carries, and what preprocessing they require.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec, MI100
+from repro.gpu.host import HostModel
+from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES, gather_bytes_per_access
+from repro.gpu.simulator import LaunchResult, simulate_launch
+from repro.sparse.csr import CSRMatrix
+
+#: Cycles a lane spends per nonzero (multiply-add plus address arithmetic).
+CYCLES_PER_NONZERO = 4.0
+
+#: Per-row bookkeeping cycles (offset reads, output write) for row-mapped kernels.
+ROW_OVERHEAD_CYCLES = 8.0
+
+#: Cycles of a wavefront-wide (64-lane) reduction.
+WAVE_REDUCTION_CYCLES = 12.0
+
+#: Cycles of a workgroup-wide (LDS) reduction.
+BLOCK_REDUCTION_CYCLES = 40.0
+
+#: Cycles of one merge-path binary search (work-oriented kernels).
+MERGE_SEARCH_CYCLES = 24.0
+
+#: Cycles of one global atomic update (COO segmented reduction carry-out).
+ATOMIC_CYCLES = 16.0
+
+#: Bytes of CSR metadata per nonzero (value + column index).
+CSR_NNZ_BYTES = VALUE_BYTES + INDEX_BYTES
+
+#: Bytes of COO metadata per nonzero (value + column index + row index).
+COO_NNZ_BYTES = VALUE_BYTES + 2 * INDEX_BYTES
+
+
+class UnsupportedKernelError(RuntimeError):
+    """Raised when a kernel cannot process a matrix (e.g. pathological ELL padding)."""
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Simulated timing of one kernel on one matrix (milliseconds)."""
+
+    kernel: str
+    preprocessing_ms: float
+    iteration_ms: float
+    iteration_detail: LaunchResult = field(compare=False, default=None)
+
+    def total_ms(self, iterations: int = 1) -> float:
+        """End-to-end time for ``iterations`` SpMV iterations."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        return self.preprocessing_ms + iterations * self.iteration_ms
+
+
+@dataclass
+class SpmvRunResult:
+    """Numeric result plus timing of one kernel execution."""
+
+    kernel: str
+    y: np.ndarray
+    timing: KernelTiming
+    iterations: int = 1
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end simulated time of this run."""
+        return self.timing.total_ms(self.iterations)
+
+
+class SpmvKernel(abc.ABC):
+    """Base class of every SpMV kernel variant.
+
+    Subclasses define ``name`` (the label used throughout the paper, e.g.
+    ``"CSR,TM"``), ``sparse_format`` and ``schedule``, and implement the
+    structural cost model in :meth:`_iteration_launch`.
+    """
+
+    #: Paper label of the kernel, e.g. ``"CSR,WM"``.
+    name: str = "abstract"
+    #: Compressed format the kernel consumes ("CSR", "COO", "ELL").
+    sparse_format: str = "CSR"
+    #: Load-balancing schedule label (Table II).
+    schedule: str = "abstract"
+    #: Whether the kernel requires a preprocessing stage (Table II / Fig. 7).
+    has_preprocessing: bool = False
+    #: Fraction of peak DRAM bandwidth this kernel's access pattern sustains.
+    bandwidth_utilization: float = 1.0
+
+    def __init__(self, device: DeviceSpec = MI100):
+        self.device = device
+        self.host = HostModel(device)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, device={self.device.name!r})"
+
+    # ------------------------------------------------------------------
+    # Capability checks
+    # ------------------------------------------------------------------
+    def supports(self, matrix: CSRMatrix) -> bool:
+        """Whether the kernel can process this matrix at all."""
+        return True
+
+    def _require_supported(self, matrix: CSRMatrix) -> None:
+        if not self.supports(matrix):
+            raise UnsupportedKernelError(f"{self.name} cannot process this matrix")
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def preprocessing_time_ms(self, matrix: CSRMatrix) -> float:
+        """One-time preprocessing cost for this matrix (0 when none)."""
+        return 0.0
+
+    @abc.abstractmethod
+    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
+        """Simulate one SpMV iteration and return the launch result."""
+
+    def timing(self, matrix: CSRMatrix) -> KernelTiming:
+        """Preprocessing plus per-iteration timing for ``matrix``."""
+        self._require_supported(matrix)
+        launch = self._iteration_launch(matrix)
+        return KernelTiming(
+            kernel=self.name,
+            preprocessing_ms=self.preprocessing_time_ms(matrix),
+            iteration_ms=launch.total_ms,
+            iteration_detail=launch,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _numeric_result(self, matrix: CSRMatrix, x: np.ndarray) -> np.ndarray:
+        """Compute ``A @ x``; subclasses may override to use their own format."""
+        return matrix.spmv(x)
+
+    def run(self, matrix: CSRMatrix, x: np.ndarray, iterations: int = 1) -> SpmvRunResult:
+        """Execute ``iterations`` SpMV iterations and return result + timing.
+
+        Iterating SpMV repeatedly with the same ``x`` would be pointless
+        numerically, so — as in iterative solvers — the output of one
+        iteration feeds the next when the matrix is square; otherwise the
+        same ``x`` is reused and only the timing reflects the iteration
+        count.
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self._require_supported(matrix)
+        timing = self.timing(matrix)
+        y = self._numeric_result(matrix, np.asarray(x, dtype=np.float64))
+        if matrix.num_rows == matrix.num_cols:
+            for _ in range(iterations - 1):
+                y = self._numeric_result(matrix, y)
+        return SpmvRunResult(kernel=self.name, y=y, timing=timing, iterations=iterations)
+
+    # ------------------------------------------------------------------
+    # Shared cost-model helpers
+    # ------------------------------------------------------------------
+    def _gather_bytes(self, matrix: CSRMatrix, accesses: float) -> float:
+        """Bytes moved by gathering ``accesses`` elements of the x vector."""
+        vector_bytes = matrix.num_cols * VALUE_BYTES
+        return accesses * gather_bytes_per_access(self.device, vector_bytes)
+
+    def _csr_stream_bytes(self, matrix: CSRMatrix) -> float:
+        """Bytes of the CSR arrays plus the output vector for one iteration."""
+        return (
+            matrix.nnz * CSR_NNZ_BYTES
+            + (matrix.num_rows + 1) * INDEX_BYTES
+            + matrix.num_rows * VALUE_BYTES
+        )
+
+    def _launch(
+        self,
+        wavefront_cycles,
+        bytes_moved: float,
+        occupancy_factor: float = 1.0,
+        extra_launches: int = 0,
+        serial_cycles: float = 0.0,
+    ) -> LaunchResult:
+        """Run the GPU simulator for one launch labelled with this kernel."""
+        return simulate_launch(
+            self.device,
+            wavefront_cycles,
+            bytes_moved,
+            label=self.name,
+            occupancy_factor=occupancy_factor,
+            extra_launches=extra_launches,
+            bandwidth_utilization=self.bandwidth_utilization,
+            serial_cycles=serial_cycles,
+        )

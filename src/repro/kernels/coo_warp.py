@@ -1,0 +1,67 @@
+"""COO warp-mapped SpMV — ``COO,WM`` in the paper.
+
+Every wavefront processes 64 consecutive nonzeros of the coordinate-format
+matrix and combines lanes that belong to the same row with a segmented
+reduction; partial sums at row boundaries are committed with global atomics.
+Work is perfectly balanced across nonzeros — heavy rows cost nothing extra —
+but the format carries an explicit row index per nonzero (more traffic) and
+every row boundary inside a wavefront costs an atomic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.memory import VALUE_BYTES
+from repro.gpu.simulator import LaunchResult
+from repro.kernels.base import (
+    ATOMIC_CYCLES,
+    COO_NNZ_BYTES,
+    CYCLES_PER_NONZERO,
+    WAVE_REDUCTION_CYCLES,
+    SpmvKernel,
+)
+from repro.sparse.csr import CSRMatrix
+
+#: Carry-out commits the global atomic unit retires per device cycle.
+ATOMIC_THROUGHPUT_PER_CYCLE = 2.0
+
+
+class CooWarpMapped(SpmvKernel):
+    """Nonzero-parallel SpMV over the COO format."""
+
+    name = "COO,WM"
+    sparse_format = "COO"
+    schedule = "Warp Mapped"
+    has_preprocessing = False
+    bandwidth_utilization = 0.95
+
+    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
+        simd = self.device.simd_width
+        num_waves = max(1, int(np.ceil(matrix.nnz / simd)))
+        # Number of row boundaries falling inside each wavefront's slice:
+        # on average (rows with nonzeros) / waves, at least one per wave.
+        occupied_rows = int(np.count_nonzero(matrix.row_lengths()))
+        boundaries_per_wave = max(1.0, occupied_rows / num_waves)
+        wave_cycles = (
+            CYCLES_PER_NONZERO
+            + WAVE_REDUCTION_CYCLES
+            + ATOMIC_CYCLES * boundaries_per_wave
+        )
+        wavefront_cycles = np.full(num_waves, wave_cycles, dtype=np.float64)
+        bytes_moved = (
+            matrix.nnz * COO_NNZ_BYTES
+            + matrix.num_rows * VALUE_BYTES
+            + self._gather_bytes(matrix, matrix.nnz)
+        )
+        # Every occupied row produces at least one carry-out that funnels
+        # through the global atomic unit; matrices with millions of short
+        # rows therefore serialize on it.
+        serial_cycles = occupied_rows / ATOMIC_THROUGHPUT_PER_CYCLE
+        return self._launch(
+            wavefront_cycles, bytes_moved, serial_cycles=serial_cycles
+        )
+
+    def _numeric_result(self, matrix: CSRMatrix, x: np.ndarray) -> np.ndarray:
+        """Compute through the COO representation the kernel actually uses."""
+        return matrix.to_coo().spmv(x)

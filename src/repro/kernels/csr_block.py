@@ -1,0 +1,68 @@
+"""CSR block-mapped SpMV — ``CSR,BM`` in the paper.
+
+One workgroup (four wavefronts, 256 lanes) cooperatively processes one row,
+combining partial sums through the LDS.  This is the schedule of choice for
+matrices with very heavy rows, but the per-row workgroup launch and LDS
+reduction overhead makes it expensive when rows are short, and the larger
+workgroup footprint lowers occupancy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES
+from repro.gpu.simulator import LaunchResult
+from repro.kernels.base import (
+    BLOCK_REDUCTION_CYCLES,
+    CSR_NNZ_BYTES,
+    CYCLES_PER_NONZERO,
+    ROW_OVERHEAD_CYCLES,
+    SpmvKernel,
+)
+from repro.sparse.csr import CSRMatrix
+
+#: Wavefronts per workgroup of the block-mapped kernel.
+WAVES_PER_WORKGROUP = 4
+
+#: Occupancy factor reflecting the LDS footprint of the block reduction.
+BLOCK_OCCUPANCY = 0.75
+
+#: Minimum DRAM traffic per row (one transaction per workgroup-owned row).
+MIN_ROW_TRANSACTION_BYTES = 128.0
+
+
+class CsrBlockMapped(SpmvKernel):
+    """One row per workgroup over CSR."""
+
+    name = "CSR,BM"
+    sparse_format = "CSR"
+    schedule = "Block Mapped"
+    has_preprocessing = False
+    bandwidth_utilization = 0.80
+
+    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
+        row_lengths = matrix.row_lengths().astype(np.float64)
+        group_width = self.device.simd_width * WAVES_PER_WORKGROUP
+        strips = np.ceil(row_lengths / group_width)
+        workgroup_cycles = (
+            strips * CYCLES_PER_NONZERO
+            + BLOCK_REDUCTION_CYCLES
+            + ROW_OVERHEAD_CYCLES
+        )
+        # Every wavefront of the workgroup is busy for the workgroup's
+        # duration, so the launch contains WAVES_PER_WORKGROUP waves per row
+        # with the same cost.
+        wavefront_cycles = np.repeat(workgroup_cycles, WAVES_PER_WORKGROUP)
+        stream_bytes = float(
+            np.maximum(row_lengths * CSR_NNZ_BYTES, MIN_ROW_TRANSACTION_BYTES).sum()
+        )
+        bytes_moved = (
+            stream_bytes
+            + (matrix.num_rows + 1) * INDEX_BYTES
+            + matrix.num_rows * VALUE_BYTES
+            + self._gather_bytes(matrix, matrix.nnz)
+        )
+        return self._launch(
+            wavefront_cycles, bytes_moved, occupancy_factor=BLOCK_OCCUPANCY
+        )

@@ -1,0 +1,123 @@
+"""Work-oriented (merge-path) CSR SpMV — ``CSR,WO`` and ``CSR,MP``.
+
+Merrill & Garland's merge-based SpMV treats the row offsets and the nonzero
+indices as two sorted lists and assigns every thread (``CSR,WO``) or every
+wavefront (``CSR,MP``) an equal slice of the *merged* list, i.e. an equal
+share of ``nnz + num_rows`` work items.  Load balance is essentially perfect
+regardless of the row-length distribution, at the price of:
+
+* a binary search per thread/wavefront to locate its slice,
+* carry-out bookkeeping for rows that straddle slice boundaries (modelled as
+  an extra fix-up launch plus partial-sum traffic), and
+* a slightly less regular access pattern than the purely row-mapped kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.occupancy import wavefront_slots
+from repro.gpu.simulator import LaunchResult
+from repro.kernels.base import (
+    CYCLES_PER_NONZERO,
+    MERGE_SEARCH_CYCLES,
+    SpmvKernel,
+)
+from repro.gpu.memory import VALUE_BYTES
+from repro.sparse.csr import CSRMatrix
+
+#: Bytes touched per probe of the merge-path binary search (one cache line of
+#: the row-offsets array).
+SEARCH_PROBE_BYTES = 64.0
+
+#: Compute multiplier for the merge bookkeeping executed alongside each item.
+MERGE_ITEM_OVERHEAD = 1.3
+
+#: Memory inflation of the diagonal traversal relative to a pure row walk.
+MERGE_TRAFFIC_FACTOR = 1.15
+
+#: Gather inflation: splitting rows across threads defeats much of the
+#: x-vector reuse the row-mapped kernels enjoy.
+MERGE_GATHER_PENALTY = 1.5
+
+#: Work items processed by one wavefront of the coarse-grained (MP) variant.
+MP_ITEMS_PER_WAVE = 512
+
+
+class _MergeBased(SpmvKernel):
+    """Shared cost model for the two merge-path granularities."""
+
+    bandwidth_utilization = 0.85
+
+    #: How many merge-path binary searches one wavefront performs (one per
+    #: lane for the thread-granularity variant, one per wavefront for the
+    #: coarse-grained variant).
+    searches_per_wave = 1.0
+
+    def _merge_launch(self, matrix: CSRMatrix, items_per_lane: float, num_waves: int,
+                      extra_launches: int) -> LaunchResult:
+        total_work = matrix.nnz + matrix.num_rows
+        search_depth = np.log2(max(total_work, 2))
+        search_cycles = MERGE_SEARCH_CYCLES + 4.0 * search_depth
+        lane_cycles = (
+            items_per_lane * CYCLES_PER_NONZERO * MERGE_ITEM_OVERHEAD
+            + search_cycles
+        )
+        wavefront_cycles = np.full(max(num_waves, 1), lane_cycles, dtype=np.float64)
+        partial_sum_bytes = num_waves * self.device.simd_width * VALUE_BYTES
+        search_bytes = (
+            num_waves * self.searches_per_wave * search_depth * SEARCH_PROBE_BYTES
+        )
+        bytes_moved = (
+            self._csr_stream_bytes(matrix) * MERGE_TRAFFIC_FACTOR
+            + self._gather_bytes(matrix, matrix.nnz) * MERGE_GATHER_PENALTY
+            + 2.0 * partial_sum_bytes
+            + search_bytes
+        )
+        return self._launch(
+            wavefront_cycles, bytes_moved, extra_launches=extra_launches
+        )
+
+
+class CsrWorkOriented(_MergeBased):
+    """Thread-granularity merge path (``CSR,WO``).
+
+    The total work is divided evenly across every resident thread of the
+    device, so each lane receives the same number of items.
+    """
+
+    name = "CSR,WO"
+    sparse_format = "CSR"
+    schedule = "Work Oriented"
+    has_preprocessing = False
+    searches_per_wave = 64.0  # one binary search per lane
+
+    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
+        total_work = matrix.nnz + matrix.num_rows
+        slots = wavefront_slots(self.device)
+        total_lanes = slots * self.device.simd_width
+        items_per_lane = float(np.ceil(max(total_work, 1) / total_lanes))
+        lanes_needed = int(np.ceil(max(total_work, 1) / items_per_lane))
+        num_waves = min(slots, int(np.ceil(lanes_needed / self.device.simd_width)))
+        return self._merge_launch(matrix, items_per_lane, num_waves, extra_launches=1)
+
+
+class CsrMergePath(_MergeBased):
+    """Wavefront-granularity merge path (``CSR,MP``).
+
+    Each wavefront receives a fixed-size slice of the merged list; the
+    number of wavefronts therefore grows with the problem instead of being
+    pinned to the device width, which lowers the per-launch fix-up cost but
+    adds a little more per-slice search overhead for large problems.
+    """
+
+    name = "CSR,MP"
+    sparse_format = "CSR"
+    schedule = "Work Oriented (merge path)"
+    has_preprocessing = False
+
+    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
+        total_work = matrix.nnz + matrix.num_rows
+        num_waves = int(np.ceil(max(total_work, 1) / MP_ITEMS_PER_WAVE))
+        items_per_lane = MP_ITEMS_PER_WAVE / self.device.simd_width
+        return self._merge_launch(matrix, items_per_lane, num_waves, extra_launches=1)

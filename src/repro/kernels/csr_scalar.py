@@ -1,0 +1,61 @@
+"""CSR thread-mapped (scalar) SpMV — ``CSR,TM`` in the paper.
+
+Each thread owns one row (Bell & Garland's CSR-scalar kernel).  A wavefront
+therefore processes 64 consecutive rows in lockstep and is as slow as its
+longest row.  Because each lane walks its own row, accesses to the value and
+column-index arrays are *not* coalesced: consecutive lanes touch addresses a
+full row apart, so a growing fraction of every cache line fetched is wasted
+as rows get longer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.simulator import LaunchResult, group_reduce_max
+from repro.kernels.base import (
+    CSR_NNZ_BYTES,
+    CYCLES_PER_NONZERO,
+    ROW_OVERHEAD_CYCLES,
+    SpmvKernel,
+)
+from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES
+from repro.sparse.csr import CSRMatrix
+
+#: Maximum waste factor for uncoalesced row-private streaming accesses.
+MAX_COALESCING_PENALTY = 8.0
+
+
+def uncoalesced_penalty(row_lengths: np.ndarray) -> np.ndarray:
+    """Per-row waste factor for thread-private traversal of a CSR row.
+
+    Rows of up to about four nonzeros still share cache lines with their
+    neighbours and pay no penalty; longer rows waste progressively more of
+    each fetched line, saturating at :data:`MAX_COALESCING_PENALTY`.
+    """
+    lengths = np.asarray(row_lengths, dtype=np.float64)
+    return np.clip((lengths - 2.0) / 2.0, 1.0, MAX_COALESCING_PENALTY)
+
+
+class CsrThreadMapped(SpmvKernel):
+    """One row per thread over CSR."""
+
+    name = "CSR,TM"
+    sparse_format = "CSR"
+    schedule = "Thread Mapped"
+    has_preprocessing = False
+    bandwidth_utilization = 0.90
+
+    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
+        row_lengths = matrix.row_lengths().astype(np.float64)
+        lane_cycles = row_lengths * CYCLES_PER_NONZERO + ROW_OVERHEAD_CYCLES
+        wavefront_cycles = group_reduce_max(lane_cycles, self.device.simd_width)
+        penalty = uncoalesced_penalty(row_lengths)
+        stream_bytes = float((row_lengths * CSR_NNZ_BYTES * penalty).sum())
+        bytes_moved = (
+            stream_bytes
+            + (matrix.num_rows + 1) * INDEX_BYTES
+            + matrix.num_rows * VALUE_BYTES
+            + self._gather_bytes(matrix, matrix.nnz)
+        )
+        return self._launch(wavefront_cycles, bytes_moved)

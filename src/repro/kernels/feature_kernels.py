@@ -1,0 +1,90 @@
+"""Parallel feature-collection kernels.
+
+The gathered features of the case study (max / min / mean / variance of row
+density, Section IV-A) are computed by GPU kernels that stride across the
+CSR row-offsets array and reduce the per-row densities.  Collection is cheap
+per element — it only touches the offsets, not the nonzeros — but it is not
+free: it costs two kernel launches (map + reduce), a device-to-host copy of
+the resulting scalars, and bandwidth proportional to the number of rows.
+
+That cost is exactly the quantity Fig. 6 plots against the CSR,BM runtime
+and the quantity the classifier-selection model weighs against the benefit
+of a better prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec, MI100
+from repro.gpu.host import HostModel
+from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES
+from repro.gpu.simulator import LaunchResult, simulate_launch
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.features import GatheredFeatures, gathered_features
+
+#: Cycles each lane spends per row (offset diff, density divide, local max/min/sums).
+CYCLES_PER_ROW = 6.0
+
+#: Cycles of the final tree reduction combining per-wavefront partials.
+REDUCTION_CYCLES = 64.0
+
+#: Scalars copied back to the host (max, min, sum, sum of squares).
+RESULT_SCALARS = 4
+
+
+@dataclass(frozen=True)
+class FeatureCollectionResult:
+    """Gathered features plus the simulated cost of collecting them."""
+
+    features: GatheredFeatures
+    collection_time_ms: float
+    launch: LaunchResult
+
+
+class FeatureCollector:
+    """Simulated parallel collection of the gathered row-density features."""
+
+    name = "feature-collection"
+
+    def __init__(self, device: DeviceSpec = MI100):
+        self.device = device
+        self.host = HostModel(device)
+
+    def collection_time_ms(self, matrix: CSRMatrix) -> float:
+        """Cost of gathering the dynamic features for ``matrix``."""
+        return self._simulate(matrix)[0]
+
+    def collect(self, matrix: CSRMatrix) -> FeatureCollectionResult:
+        """Compute the gathered features and their collection cost."""
+        time_ms, launch = self._simulate(matrix)
+        features = gathered_features(matrix).with_collection_time(time_ms)
+        return FeatureCollectionResult(
+            features=features, collection_time_ms=time_ms, launch=launch
+        )
+
+    def _simulate(self, matrix: CSRMatrix) -> tuple:
+        simd = self.device.simd_width
+        num_rows = max(matrix.num_rows, 1)
+        num_waves = max(1, int(np.ceil(num_rows / simd)))
+        wave_cycles = np.full(
+            num_waves, CYCLES_PER_ROW + REDUCTION_CYCLES / simd, dtype=np.float64
+        )
+        bytes_moved = (
+            (matrix.num_rows + 1) * INDEX_BYTES
+            + num_waves * RESULT_SCALARS * VALUE_BYTES
+        )
+        # Two launches: the per-wavefront partial reduction and the final
+        # combine; then the four scalars travel back to the host where the
+        # decision tree runs.
+        launch = simulate_launch(
+            self.device,
+            wave_cycles,
+            bytes_moved,
+            label=self.name,
+            extra_launches=1,
+        )
+        transfer_ms = self.host.transfer_time_ms(RESULT_SCALARS * VALUE_BYTES)
+        return launch.total_ms + transfer_ms, launch

@@ -1,0 +1,59 @@
+"""Registry of the SpMV kernel variants (Table II of the paper)."""
+
+from __future__ import annotations
+
+from repro.gpu.device import DeviceSpec, MI100
+from repro.kernels.coo_warp import CooWarpMapped
+from repro.kernels.csr_adaptive import CsrAdaptive, RocSparseAdaptive
+from repro.kernels.csr_block import CsrBlockMapped
+from repro.kernels.csr_merge import CsrMergePath, CsrWorkOriented
+from repro.kernels.csr_scalar import CsrThreadMapped
+from repro.kernels.csr_vector import CsrWarpMapped
+from repro.kernels.ell_thread import EllThreadMapped
+
+#: Kernel classes keyed by their paper label, in the order used by Fig. 5.
+KERNEL_CLASSES = {
+    CsrAdaptive.name: CsrAdaptive,
+    CsrBlockMapped.name: CsrBlockMapped,
+    CsrMergePath.name: CsrMergePath,
+    CsrWarpMapped.name: CsrWarpMapped,
+    CsrWorkOriented.name: CsrWorkOriented,
+    CsrThreadMapped.name: CsrThreadMapped,
+    CooWarpMapped.name: CooWarpMapped,
+    EllThreadMapped.name: EllThreadMapped,
+    RocSparseAdaptive.name: RocSparseAdaptive,
+}
+
+#: The eight kernels shown in the per-matrix plots of Fig. 5.
+FIG5_KERNEL_NAMES = (
+    "CSR,A",
+    "CSR,BM",
+    "CSR,MP",
+    "CSR,WM",
+    "CSR,WO",
+    "CSR,TM",
+    "COO,WM",
+    "ELL,TM",
+)
+
+#: The full set, including the vendor library shown in Fig. 1 and Fig. 7.
+ALL_KERNEL_NAMES = FIG5_KERNEL_NAMES + ("rocSPARSE",)
+
+
+def kernel_names(include_rocsparse: bool = True) -> tuple:
+    """Kernel labels in paper order."""
+    return ALL_KERNEL_NAMES if include_rocsparse else FIG5_KERNEL_NAMES
+
+
+def make_kernel(name: str, device: DeviceSpec = MI100):
+    """Instantiate a kernel variant by its paper label."""
+    if name not in KERNEL_CLASSES:
+        raise KeyError(
+            f"unknown kernel {name!r}; expected one of {sorted(KERNEL_CLASSES)}"
+        )
+    return KERNEL_CLASSES[name](device)
+
+
+def default_kernels(device: DeviceSpec = MI100, include_rocsparse: bool = True) -> list:
+    """Instantiate the case-study kernel set in paper order."""
+    return [make_kernel(name, device) for name in kernel_names(include_rocsparse)]

@@ -1,0 +1,31 @@
+"""Machine-learning substrate.
+
+The paper trains its predictors with scikit-learn's CART decision tree
+(Gini impurity, bounded depth).  scikit-learn is not available offline, so
+this package implements the pieces Seer needs from scratch: a CART
+classifier, label encoding, train/test splitting, classification metrics,
+and Kendall's rank correlation (Table III).
+"""
+
+from repro.ml.decision_tree import DecisionTreeClassifier, TreeNode
+from repro.ml.encoders import LabelEncoder
+from repro.ml.kendall import kendall_tau
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    geometric_mean,
+    geomean_speedup,
+)
+from repro.ml.split import train_test_split
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "TreeNode",
+    "LabelEncoder",
+    "kendall_tau",
+    "accuracy_score",
+    "confusion_matrix",
+    "geometric_mean",
+    "geomean_speedup",
+    "train_test_split",
+]

@@ -1,0 +1,86 @@
+"""Classification and performance metrics.
+
+The paper reports two distinct quantities (Section IV-C):
+
+* **accuracy** — the fraction of exactly-correct fastest-kernel predictions;
+* **error / speedup** — runtime lost or gained relative to the Oracle or to
+  individual kernels, which can be good even when accuracy is mediocre
+  because many mispredictions are between near-equivalent kernels.
+
+Both families live here, together with the geometric-mean speedup used for
+the headline 6.5x number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of predictions equal to the true label."""
+    y_true = list(y_true)
+    y_pred = list(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must have the same length")
+    if not y_true:
+        raise ValueError("cannot compute accuracy of an empty set")
+    correct = sum(1 for true, pred in zip(y_true, y_pred) if true == pred)
+    return correct / len(y_true)
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> tuple:
+    """Confusion matrix and the label order used for its axes.
+
+    Returns ``(matrix, labels)`` where ``matrix[i, j]`` counts samples whose
+    true label is ``labels[i]`` and predicted label is ``labels[j]``.
+    """
+    y_true = list(y_true)
+    y_pred = list(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must have the same length")
+    if labels is None:
+        labels = sorted(set(y_true) | set(y_pred), key=str)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for true, pred in zip(y_true, y_pred):
+        matrix[index[true], index[pred]] += 1
+    return matrix, list(labels)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of strictly positive values."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot compute the geometric mean of an empty set")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def geomean_speedup(baseline_times, candidate_times) -> float:
+    """Geometric-mean speedup of ``candidate`` over ``baseline`` per element.
+
+    Speedup per element is ``baseline / candidate``; values above 1 mean the
+    candidate is faster.
+    """
+    baseline = np.asarray(list(baseline_times), dtype=np.float64)
+    candidate = np.asarray(list(candidate_times), dtype=np.float64)
+    if baseline.shape != candidate.shape:
+        raise ValueError("baseline and candidate must have the same shape")
+    return geometric_mean(baseline / candidate)
+
+
+def relative_error_to_oracle(oracle_times, predictor_times) -> float:
+    """Total runtime lost relative to the Oracle, as a fraction of the Oracle.
+
+    Zero means the predictor matched the Oracle exactly; 1.0 means it took
+    twice the Oracle's aggregate time.
+    """
+    oracle = np.asarray(list(oracle_times), dtype=np.float64)
+    predictor = np.asarray(list(predictor_times), dtype=np.float64)
+    if oracle.shape != predictor.shape:
+        raise ValueError("oracle and predictor must have the same shape")
+    oracle_total = oracle.sum()
+    if oracle_total <= 0:
+        raise ValueError("oracle total time must be positive")
+    return float((predictor.sum() - oracle_total) / oracle_total)

@@ -1,0 +1,61 @@
+"""Train/test splitting.
+
+The paper uses a plain 80/20 train-test split with no validation set
+(Section III-C explains why: no hyperparameter tuning is performed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def train_test_split(
+    num_samples: int,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    stratify=None,
+) -> tuple:
+    """Return ``(train_indices, test_indices)`` for a dataset of given size.
+
+    Parameters
+    ----------
+    num_samples:
+        Total number of samples.
+    test_fraction:
+        Fraction of samples assigned to the test split (paper: 0.2).
+    seed:
+        Seed of the shuffling RNG; splits are deterministic given the seed.
+    stratify:
+        Optional array of labels; when given, each label contributes
+        proportionally to the test split (so rare kernels still appear in
+        both splits).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if num_samples < 2:
+        raise ValueError("need at least two samples to split")
+    rng = np.random.default_rng(seed)
+
+    if stratify is None:
+        order = rng.permutation(num_samples)
+        num_test = max(1, int(round(test_fraction * num_samples)))
+        num_test = min(num_test, num_samples - 1)
+        return np.sort(order[num_test:]), np.sort(order[:num_test])
+
+    stratify = np.asarray(stratify)
+    if stratify.shape[0] != num_samples:
+        raise ValueError("stratify must have one label per sample")
+    train_parts, test_parts = [], []
+    for label in np.unique(stratify):
+        members = np.flatnonzero(stratify == label)
+        members = rng.permutation(members)
+        if members.size == 1:
+            train_parts.append(members)
+            continue
+        num_test = max(1, int(round(test_fraction * members.size)))
+        num_test = min(num_test, members.size - 1)
+        test_parts.append(members[:num_test])
+        train_parts.append(members[num_test:])
+    train = np.sort(np.concatenate(train_parts)) if train_parts else np.array([], dtype=np.int64)
+    test = np.sort(np.concatenate(test_parts)) if test_parts else np.array([], dtype=np.int64)
+    return train, test

@@ -1,0 +1,143 @@
+"""Coordinate (COO) sparse-matrix format.
+
+The COO format stores one (row, column, value) triple per nonzero.  It is the
+natural interchange format: every other format in this package converts
+through it, and the Matrix-Market reader produces it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class SparseFormatError(ValueError):
+    """Raised when sparse-matrix data is structurally invalid."""
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix in coordinate format.
+
+    Attributes
+    ----------
+    num_rows, num_cols:
+        Matrix dimensions.
+    rows, cols:
+        Integer arrays of length ``nnz`` with the row/column index of each
+        stored entry.
+    values:
+        Float array of length ``nnz`` with the stored values.
+    """
+
+    num_rows: int
+    num_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.values.shape[0])
+
+    @property
+    def shape(self) -> tuple:
+        """``(num_rows, num_cols)``."""
+        return (self.num_rows, self.num_cols)
+
+    def validate(self) -> None:
+        """Check structural invariants, raising :class:`SparseFormatError`."""
+        if self.num_rows < 0 or self.num_cols < 0:
+            raise SparseFormatError("matrix dimensions must be non-negative")
+        if not (self.rows.shape == self.cols.shape == self.values.shape):
+            raise SparseFormatError(
+                "rows, cols and values must have identical shapes"
+            )
+        if self.rows.ndim != 1:
+            raise SparseFormatError("COO arrays must be one-dimensional")
+        if self.nnz:
+            if self.rows.min() < 0 or self.rows.max() >= self.num_rows:
+                raise SparseFormatError("row index out of bounds")
+            if self.cols.min() < 0 or self.cols.max() >= self.num_cols:
+                raise SparseFormatError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build a COO matrix from a dense 2-D array (zeros are dropped)."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise SparseFormatError("dense input must be two-dimensional")
+        rows, cols = np.nonzero(dense)
+        return cls(
+            num_rows=dense.shape[0],
+            num_cols=dense.shape[1],
+            rows=rows,
+            cols=cols,
+            values=dense[rows, cols],
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the matrix as a dense array (duplicates are summed)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.values)
+        return dense
+
+    def sorted_by_row(self) -> "COOMatrix":
+        """Return a copy with entries sorted by (row, column)."""
+        order = np.lexsort((self.cols, self.rows))
+        return COOMatrix(
+            num_rows=self.num_rows,
+            num_cols=self.num_cols,
+            rows=self.rows[order],
+            cols=self.cols[order],
+            values=self.values[order],
+        )
+
+    def deduplicated(self) -> "COOMatrix":
+        """Return a copy with duplicate (row, col) entries summed."""
+        if self.nnz == 0:
+            return self
+        ordered = self.sorted_by_row()
+        keys = ordered.rows * self.num_cols + ordered.cols
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        values = np.zeros(unique_keys.shape[0], dtype=np.float64)
+        np.add.at(values, inverse, ordered.values)
+        return COOMatrix(
+            num_rows=self.num_rows,
+            num_cols=self.num_cols,
+            rows=unique_keys // self.num_cols,
+            cols=unique_keys % self.num_cols,
+            values=values,
+        )
+
+    # ------------------------------------------------------------------
+    # Computation
+    # ------------------------------------------------------------------
+    def row_lengths(self) -> np.ndarray:
+        """Number of stored entries per row (length ``num_rows``)."""
+        return np.bincount(self.rows, minlength=self.num_rows).astype(np.int64)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference sparse matrix-vector product ``y = A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_cols,):
+            raise ValueError(
+                f"vector has shape {x.shape}, expected ({self.num_cols},)"
+            )
+        y = np.zeros(self.num_rows, dtype=np.float64)
+        np.add.at(y, self.rows, self.values * x[self.cols])
+        return y

@@ -1,0 +1,205 @@
+"""Compressed Sparse Row (CSR) format.
+
+CSR is the primary format of the SpMV case study: six of the eight kernel
+variants in the paper (Table II) operate on CSR.  The format stores a
+``row_offsets`` array of length ``num_rows + 1`` plus per-nonzero column
+indices and values sorted by row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix, SparseFormatError
+
+
+@dataclass
+class CSRMatrix:
+    """A sparse matrix in compressed-sparse-row format.
+
+    Attributes
+    ----------
+    num_rows, num_cols:
+        Matrix dimensions.
+    row_offsets:
+        Integer array of length ``num_rows + 1``; row ``i`` owns the nonzeros
+        in ``[row_offsets[i], row_offsets[i + 1])``.
+    col_indices:
+        Column index of every stored entry, grouped by row.
+    values:
+        Stored values, aligned with ``col_indices``.
+    """
+
+    num_rows: int
+    num_cols: int
+    row_offsets: np.ndarray
+    col_indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.row_offsets = np.asarray(self.row_offsets, dtype=np.int64)
+        self.col_indices = np.asarray(self.col_indices, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.values.shape[0])
+
+    @property
+    def shape(self) -> tuple:
+        """``(num_rows, num_cols)``."""
+        return (self.num_rows, self.num_cols)
+
+    def validate(self) -> None:
+        """Check structural invariants, raising :class:`SparseFormatError`."""
+        if self.num_rows < 0 or self.num_cols < 0:
+            raise SparseFormatError("matrix dimensions must be non-negative")
+        if self.row_offsets.shape != (self.num_rows + 1,):
+            raise SparseFormatError(
+                "row_offsets must have length num_rows + 1, got "
+                f"{self.row_offsets.shape[0]} for {self.num_rows} rows"
+            )
+        if self.col_indices.shape != self.values.shape:
+            raise SparseFormatError("col_indices and values must align")
+        if self.row_offsets[0] != 0:
+            raise SparseFormatError("row_offsets must start at 0")
+        if self.row_offsets[-1] != self.values.shape[0]:
+            raise SparseFormatError("row_offsets must end at nnz")
+        if np.any(np.diff(self.row_offsets) < 0):
+            raise SparseFormatError("row_offsets must be non-decreasing")
+        if self.values.shape[0]:
+            if self.col_indices.min() < 0 or self.col_indices.max() >= self.num_cols:
+                raise SparseFormatError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Convert from COO (duplicates are preserved, entries sorted by row)."""
+        ordered = coo.sorted_by_row()
+        row_offsets = np.zeros(coo.num_rows + 1, dtype=np.int64)
+        counts = np.bincount(ordered.rows, minlength=coo.num_rows)
+        row_offsets[1:] = np.cumsum(counts)
+        return cls(
+            num_rows=coo.num_rows,
+            num_cols=coo.num_cols,
+            row_offsets=row_offsets,
+            col_indices=ordered.cols,
+            values=ordered.values,
+        )
+
+    def to_coo(self) -> COOMatrix:
+        """Convert to COO format."""
+        rows = np.repeat(np.arange(self.num_rows, dtype=np.int64), self.row_lengths())
+        return COOMatrix(
+            num_rows=self.num_rows,
+            num_cols=self.num_cols,
+            rows=rows,
+            cols=self.col_indices.copy(),
+            values=self.values.copy(),
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a dense 2-D array (zeros dropped)."""
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array."""
+        return self.to_coo().to_dense()
+
+    @classmethod
+    def from_row_lengths(
+        cls,
+        row_lengths: np.ndarray,
+        num_cols: int,
+        rng: np.random.Generator,
+    ) -> "CSRMatrix":
+        """Build a matrix with the given per-row nonzero counts.
+
+        Column indices within each row are sampled without replacement from
+        ``[0, num_cols)`` and sorted; values are drawn uniformly from
+        ``[0.5, 1.5)`` so SpMV results are well-conditioned for comparisons.
+        """
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        if np.any(row_lengths < 0):
+            raise SparseFormatError("row lengths must be non-negative")
+        if np.any(row_lengths > num_cols):
+            raise SparseFormatError("row length exceeds number of columns")
+        num_rows = row_lengths.shape[0]
+        row_offsets = np.zeros(num_rows + 1, dtype=np.int64)
+        row_offsets[1:] = np.cumsum(row_lengths)
+        nnz = int(row_offsets[-1])
+        col_indices = np.empty(nnz, dtype=np.int64)
+        for row in range(num_rows):
+            start, stop = row_offsets[row], row_offsets[row + 1]
+            length = stop - start
+            if length == 0:
+                continue
+            if length > num_cols // 2 and num_cols < 1 << 20:
+                cols = rng.permutation(num_cols)[:length]
+            else:
+                # Sampling with replacement then deduplicating is much faster
+                # for sparse rows; top up until the row is full.
+                cols = np.unique(rng.integers(0, num_cols, size=int(length * 1.3) + 4))
+                while cols.shape[0] < length:
+                    extra = rng.integers(0, num_cols, size=length)
+                    cols = np.unique(np.concatenate([cols, extra]))
+                cols = rng.permutation(cols)[:length]
+            col_indices[start:stop] = np.sort(cols)
+        values = rng.uniform(0.5, 1.5, size=nnz)
+        return cls(
+            num_rows=num_rows,
+            num_cols=num_cols,
+            row_offsets=row_offsets,
+            col_indices=col_indices,
+            values=values,
+        )
+
+    # ------------------------------------------------------------------
+    # Computation
+    # ------------------------------------------------------------------
+    def row_lengths(self) -> np.ndarray:
+        """Number of stored entries per row."""
+        return np.diff(self.row_offsets)
+
+    def row_slice(self, row: int) -> tuple:
+        """Return ``(col_indices, values)`` for a single row."""
+        start, stop = self.row_offsets[row], self.row_offsets[row + 1]
+        return self.col_indices[start:stop], self.values[start:stop]
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference sparse matrix-vector product ``y = A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_cols,):
+            raise ValueError(
+                f"vector has shape {x.shape}, expected ({self.num_cols},)"
+            )
+        products = self.values * x[self.col_indices]
+        y = np.add.reduceat(
+            np.concatenate([products, [0.0]]),
+            np.minimum(self.row_offsets[:-1], products.shape[0]),
+        )
+        # reduceat repeats the previous segment when a row is empty; zero them.
+        y[self.row_lengths() == 0] = 0.0
+        return y[: self.num_rows]
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as a new CSR matrix."""
+        coo = self.to_coo()
+        flipped = COOMatrix(
+            num_rows=self.num_cols,
+            num_cols=self.num_rows,
+            rows=coo.cols,
+            cols=coo.rows,
+            values=coo.values,
+        )
+        return CSRMatrix.from_coo(flipped)

@@ -1,0 +1,134 @@
+"""Structural features of sparse matrices.
+
+The paper distinguishes two classes of features (Section III-A):
+
+* **Known features** ship with the dataset and cost nothing to obtain at
+  runtime — the matrix dimensions, the number of nonzeros and, for the
+  multi-iteration study, the number of SpMV iterations the caller intends to
+  run.
+* **Gathered features** are row-order *density* statistics computed by
+  dedicated parallel kernels at a non-zero runtime cost: the maximum,
+  minimum, mean and variance of per-row density, where the density of a row
+  is its nonzero count divided by the number of columns (Section IV-A).
+
+This module computes the numeric values; the *cost* of gathering them on the
+simulated GPU lives in :mod:`repro.kernels.feature_kernels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+#: Order of the known features as fed to the decision trees.
+KNOWN_FEATURE_NAMES = ("rows", "cols", "nnz", "iterations")
+
+#: Order of the gathered features as fed to the decision trees.
+GATHERED_FEATURE_NAMES = (
+    "max_row_density",
+    "min_row_density",
+    "mean_row_density",
+    "var_row_density",
+)
+
+#: Known followed by gathered — the input layout of the gathered classifier.
+ALL_FEATURE_NAMES = KNOWN_FEATURE_NAMES + GATHERED_FEATURE_NAMES
+
+
+@dataclass(frozen=True)
+class KnownFeatures:
+    """Features available at runtime with no collection cost."""
+
+    rows: int
+    cols: int
+    nnz: int
+    iterations: int = 1
+
+    def as_vector(self) -> np.ndarray:
+        """Return the features in :data:`KNOWN_FEATURE_NAMES` order."""
+        return np.array(
+            [self.rows, self.cols, self.nnz, self.iterations], dtype=np.float64
+        )
+
+    def as_dict(self) -> dict:
+        """Return ``{name: value}`` for CSV emission."""
+        return {name: getattr(self, name) for name in KNOWN_FEATURE_NAMES}
+
+    def with_iterations(self, iterations: int) -> "KnownFeatures":
+        """Return a copy with a different iteration count."""
+        return KnownFeatures(
+            rows=self.rows, cols=self.cols, nnz=self.nnz, iterations=iterations
+        )
+
+
+@dataclass(frozen=True)
+class GatheredFeatures:
+    """Row-density statistics collected by feature-collection kernels."""
+
+    max_row_density: float
+    min_row_density: float
+    mean_row_density: float
+    var_row_density: float
+    collection_time_ms: float = field(default=0.0, compare=False)
+
+    def as_vector(self) -> np.ndarray:
+        """Return the features in :data:`GATHERED_FEATURE_NAMES` order."""
+        return np.array(
+            [
+                self.max_row_density,
+                self.min_row_density,
+                self.mean_row_density,
+                self.var_row_density,
+            ],
+            dtype=np.float64,
+        )
+
+    def as_dict(self) -> dict:
+        """Return ``{name: value}`` for CSV emission (without the cost)."""
+        return {name: getattr(self, name) for name in GATHERED_FEATURE_NAMES}
+
+    def with_collection_time(self, collection_time_ms: float) -> "GatheredFeatures":
+        """Return a copy carrying the measured collection time."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values["collection_time_ms"] = collection_time_ms
+        return GatheredFeatures(**values)
+
+
+def known_features(matrix: CSRMatrix, iterations: int = 1) -> KnownFeatures:
+    """Extract the trivially known features of ``matrix``."""
+    return KnownFeatures(
+        rows=matrix.num_rows,
+        cols=matrix.num_cols,
+        nnz=matrix.nnz,
+        iterations=iterations,
+    )
+
+
+def gathered_features(matrix: CSRMatrix) -> GatheredFeatures:
+    """Compute the row-density statistics of ``matrix``.
+
+    The density of a row is ``row_length / num_cols`` (Section IV-A), which
+    normalizes the statistic across matrices of different widths.  Matrices
+    with no columns or no rows yield all-zero statistics.
+    """
+    if matrix.num_rows == 0 or matrix.num_cols == 0:
+        return GatheredFeatures(0.0, 0.0, 0.0, 0.0)
+    densities = matrix.row_lengths().astype(np.float64) / float(matrix.num_cols)
+    return GatheredFeatures(
+        max_row_density=float(densities.max()),
+        min_row_density=float(densities.min()),
+        mean_row_density=float(densities.mean()),
+        var_row_density=float(densities.var()),
+    )
+
+
+def feature_vector(
+    known: KnownFeatures, gathered: GatheredFeatures = None
+) -> np.ndarray:
+    """Concatenate known (and optionally gathered) features into one vector."""
+    if gathered is None:
+        return known.as_vector()
+    return np.concatenate([known.as_vector(), gathered.as_vector()])

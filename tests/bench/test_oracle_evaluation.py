@@ -1,0 +1,97 @@
+"""Tests for the Oracle predictor and the evaluation harness."""
+
+import math
+
+import pytest
+
+from repro.bench.evaluation import (
+    PREDICTOR_ORDER,
+    evaluate_dataset,
+    predictor_path_time_ms,
+)
+from repro.bench.oracle import OraclePredictor
+
+
+def test_oracle_selects_minimum_total(tiny_sweep):
+    oracle = OraclePredictor()
+    for sample in tiny_sweep.dataset:
+        pick = oracle.select(sample)
+        time_ms = oracle.time_ms(sample)
+        finite = [t for t in sample.kernel_total_ms.values() if math.isfinite(t)]
+        assert time_ms == min(finite)
+        assert sample.kernel_total_ms[pick] == time_ms
+
+
+def test_predictor_path_time_adds_overhead(tiny_sweep):
+    sample = tiny_sweep.dataset.samples[0]
+    kernel = sample.best_kernel
+    base = predictor_path_time_ms(sample, kernel)
+    assert predictor_path_time_ms(sample, kernel, overhead_ms=0.5) == pytest.approx(
+        base + 0.5
+    )
+
+
+def test_predictor_path_time_falls_back_for_unsupported_kernel(tiny_sweep):
+    sample = tiny_sweep.dataset.samples[0]
+    kernel = sample.best_kernel
+    saved = sample.kernel_total_ms[kernel]
+    sample.kernel_total_ms[kernel] = math.inf
+    try:
+        fallback = predictor_path_time_ms(sample, kernel)
+        assert math.isfinite(fallback)
+        assert fallback == max(
+            t for t in sample.kernel_total_ms.values() if math.isfinite(t)
+        )
+    finally:
+        sample.kernel_total_ms[kernel] = saved
+
+
+def test_evaluation_report_structure(tiny_sweep):
+    report = tiny_sweep.test_report
+    assert len(report.rows) == len(tiny_sweep.test_set)
+    table = report.aggregate_table()
+    for approach in PREDICTOR_ORDER:
+        assert approach in table
+        assert math.isfinite(table[approach])
+    for kernel in report.kernel_names:
+        assert kernel in table
+
+
+def test_oracle_is_a_lower_bound(tiny_sweep):
+    report = tiny_sweep.test_report
+    oracle_total = report.aggregate_ms("Oracle")
+    for approach in ("Selector", "Gathered", "Known", *report.kernel_names):
+        assert report.aggregate_ms(approach) >= oracle_total * (1 - 1e-9)
+    assert report.slowdown_vs_oracle("Selector") >= 1.0
+    assert report.slowdown_vs_oracle("Oracle") == pytest.approx(1.0)
+
+
+def test_per_row_consistency(tiny_sweep):
+    for row in tiny_sweep.test_report.rows:
+        assert row.oracle_ms <= row.selector_ms + 1e-12
+        assert row.oracle_ms <= row.known_ms + 1e-12
+        assert row.oracle_ms <= row.gathered_ms + 1e-12
+        assert row.selector_kernel in tiny_sweep.suite.kernel_names
+        assert row.approach_time("Oracle") == row.oracle_ms
+        assert row.approach_time(row.oracle_kernel) >= row.oracle_ms * (1 - 1e-12)
+
+
+def test_accuracy_and_speedup_metrics_are_consistent(tiny_sweep):
+    report = tiny_sweep.test_report
+    for approach in ("Known", "Gathered", "Selector"):
+        accuracy = report.accuracy(approach)
+        assert 0.0 <= accuracy <= 1.0
+    assert 0.0 <= report.selector_choice_accuracy() <= 1.0
+    assert report.geomean_speedup_vs_kernels("Oracle") >= 1.0
+    assert report.speedup_vs_best_single_kernel("Oracle") > 0.0
+    with pytest.raises(ValueError):
+        report.accuracy("Oracle")
+
+
+def test_evaluate_dataset_on_training_split_matches_report(tiny_sweep):
+    rebuilt = evaluate_dataset(tiny_sweep.train_set, tiny_sweep.models, tiny_sweep.predictor)
+    assert len(rebuilt.rows) == len(tiny_sweep.train_set)
+    assert rebuilt.kernel_names == tiny_sweep.train_report.kernel_names
+    assert rebuilt.aggregate_ms("Selector") == pytest.approx(
+        tiny_sweep.train_report.aggregate_ms("Selector")
+    )

@@ -1,0 +1,57 @@
+"""Shared fixtures for the Seer reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import run_sweep
+from repro.gpu.device import MI100, SMALL_GPU
+from repro.sparse import generators as gen
+
+
+@pytest.fixture(scope="session")
+def mi100():
+    """The default simulated device."""
+    return MI100
+
+
+@pytest.fixture(scope="session")
+def small_device():
+    """A small simulated device that saturates early (useful for edge cases)."""
+    return SMALL_GPU
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_matrices():
+    """A dictionary of small matrices covering the structural families."""
+    return {
+        "regular": gen.regular_matrix(256, 256, 8, rng=1),
+        "banded": gen.banded_matrix(300, 9, rng=2),
+        "power_law": gen.power_law_matrix(400, 400, 6.0, rng=3),
+        "skewed": gen.skewed_matrix(300, 300, 3, 4, 120, rng=4),
+        "uniform": gen.uniform_random_matrix(200, 300, 0.03, rng=5),
+        "block": gen.block_diagonal_matrix(16, 16, rng=6),
+        "variable_block": gen.variable_block_matrix(257, 4, 24, rng=7),
+        "empty_heavy": gen.empty_row_heavy_matrix(256, 256, 0.5, 10, rng=8),
+        "diagonal": gen.diagonal_matrix(128, rng=9),
+        "road": gen.road_network_matrix(512, rng=10),
+    }
+
+
+@pytest.fixture(scope="session")
+def tiny_sweep():
+    """One end-to-end pipeline run on the tiny profile, shared by tests."""
+    return run_sweep(profile="tiny", iteration_counts=(1, 19))
+
+
+@pytest.fixture(scope="session")
+def small_sweep():
+    """One end-to-end pipeline run on the small profile, shared by tests."""
+    return run_sweep(profile="small")

@@ -1,0 +1,74 @@
+"""Tests for decision-tree code generation (C++ header and Python module)."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import (
+    models_to_cpp_header,
+    models_to_python_module,
+    tree_to_cpp,
+    tree_to_python,
+    write_cpp_header,
+    write_python_module,
+)
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def fitted_tree():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(200, 3))
+    y = np.where(X[:, 0] > 0.5, "ELL,TM", np.where(X[:, 1] > 0.5, "CSR,WM", "COO,WM"))
+    return DecisionTreeClassifier(max_depth=4).fit(
+        X, y, feature_names=["rows", "cols", "nnz"]
+    )
+
+
+def test_generated_python_agrees_with_model(fitted_tree):
+    source = tree_to_python(fitted_tree, "kernel_classifier")
+    namespace = {}
+    exec(source, namespace)  # noqa: S102 - exercising generated code is the point
+    classifier = namespace["kernel_classifier"]
+    rng = np.random.default_rng(1)
+    X = rng.uniform(size=(100, 3))
+    for sample in X:
+        expected = fitted_tree.predict_one(sample)
+        produced = fitted_tree.classes_[classifier(sample)]
+        assert produced == expected
+
+
+def test_cpp_header_structure(fitted_tree):
+    code = tree_to_cpp(fitted_tree, "kernel classifier!")  # name gets sanitized
+    assert "inline int kernel_classifier_(const double* features)" in code
+    assert code.count("return") >= 2
+    assert "if (features[" in code
+
+
+def test_models_codegen_round_trip(tiny_sweep, tmp_path):
+    models = tiny_sweep.models
+    header = models_to_cpp_header(models)
+    assert "#ifndef SEER_MODELS_H" in header
+    assert "seer_known_classifier" in header
+    assert "seer_gathered_classifier" in header
+    assert "seer_classifier_selector" in header
+    for kernel in models.known_model.classes_:
+        assert f'"{kernel}"' in header
+
+    module_source = models_to_python_module(models)
+    namespace = {}
+    exec(module_source, namespace)  # noqa: S102
+    known = namespace["known_classifier"]
+    selector = namespace["classifier_selector"]
+    for sample in tiny_sweep.test_set:
+        expected = models.predict_known(sample.known_vector)
+        assert namespace["KERNEL_CLASSES"][known(sample.known_vector)] == expected
+        expected_choice = models.predict_selector(sample.known_vector)
+        assert (
+            namespace["SELECTOR_CLASSES"][selector(sample.known_vector)]
+            == expected_choice
+        )
+
+    header_path = write_cpp_header(models, tmp_path / "generated" / "seer.h")
+    module_path = write_python_module(models, tmp_path / "generated" / "seer.py")
+    assert header_path.exists() and header_path.read_text() == header
+    assert module_path.exists()

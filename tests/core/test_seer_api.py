@@ -1,0 +1,79 @@
+"""Tests for the paper's ``seer(runtime, preprocessing_data, features)`` API."""
+
+import pytest
+
+from repro.core.seer import SeerResult, seer, suite_from_tables
+from repro.core.training import TrainingConfig
+from repro.sparse.features import GATHERED_FEATURE_NAMES, KNOWN_FEATURE_NAMES
+
+
+def _tables_from_suite(suite):
+    runtime = {m.name: dict(m.kernel_runtime_ms) for m in suite}
+    preprocessing = {m.name: dict(m.kernel_preprocessing_ms) for m in suite}
+    features = {
+        m.name: (m.gathered.as_dict(), m.collection_time_ms) for m in suite
+    }
+    known = {m.name: (m.known.as_dict(), 0.0) for m in suite}
+    return runtime, preprocessing, features, known
+
+
+def test_seer_from_in_memory_tables(tiny_sweep):
+    runtime, preprocessing, features, known = _tables_from_suite(tiny_sweep.suite)
+    result = seer(runtime, preprocessing, features, known, iteration_counts=(1, 19))
+    assert isinstance(result, SeerResult)
+    assert set(result.models.kernel_names) == set(tiny_sweep.suite.kernel_names)
+    assert "seer_classifier_selector" in result.cpp_header
+    assert "classifier_selector" in result.python_module
+    sample = tiny_sweep.dataset.samples[0]
+    assert result.models.predict_known(sample.known_vector) in result.models.kernel_names
+
+
+def test_seer_from_csv_files(tiny_sweep, tmp_path):
+    tiny_sweep.suite.save(tmp_path)
+    result = seer(
+        tmp_path / "runtime.csv",
+        tmp_path / "preprocessing.csv",
+        tmp_path / "features.csv",
+        tmp_path / "known.csv",
+        header_path=tmp_path / "seer_models.h",
+    )
+    assert (tmp_path / "seer_models.h").exists()
+    assert result.header_path == tmp_path / "seer_models.h"
+
+
+def test_seer_accepts_benchmark_suite_directly(tiny_sweep):
+    result = seer(
+        tiny_sweep.suite,
+        None,
+        None,
+        iteration_counts=(1, 19),
+        config=TrainingConfig(selector_cross_fit=0),
+    )
+    assert result.models.training_size == 2 * len(tiny_sweep.suite)
+    assert result.predictor is not None
+
+
+def test_seer_requires_known_table_with_raw_tables(tiny_sweep):
+    runtime, preprocessing, features, _ = _tables_from_suite(tiny_sweep.suite)
+    with pytest.raises(ValueError):
+        seer(runtime, preprocessing, features)
+
+
+def test_suite_from_tables_validates_membership(tiny_sweep):
+    runtime, preprocessing, features, known = _tables_from_suite(tiny_sweep.suite)
+    del preprocessing[next(iter(preprocessing))]
+    with pytest.raises(KeyError):
+        suite_from_tables(runtime, preprocessing, features, known)
+
+
+def test_suite_from_tables_reconstructs_features(tiny_sweep):
+    runtime, preprocessing, features, known = _tables_from_suite(tiny_sweep.suite)
+    suite = suite_from_tables(runtime, preprocessing, features, known)
+    original = tiny_sweep.suite.get(suite.measurements[0].name)
+    rebuilt = suite.measurements[0]
+    assert rebuilt.known == original.known
+    for name in GATHERED_FEATURE_NAMES:
+        assert getattr(rebuilt.gathered, name) == pytest.approx(
+            getattr(original.gathered, name)
+        )
+    assert list(KNOWN_FEATURE_NAMES) == ["rows", "cols", "nnz", "iterations"]

@@ -1,0 +1,72 @@
+"""Tests for the memory, occupancy and host cost models."""
+
+import pytest
+
+from repro.gpu.device import MI100
+from repro.gpu.host import HOST_CALL_OVERHEAD_MS, HostModel
+from repro.gpu.memory import (
+    CACHED_GATHER_BYTES,
+    UNCACHED_GATHER_BYTES,
+    effective_bandwidth_gb_s,
+    gather_bytes_per_access,
+    memory_time_ms,
+)
+from repro.gpu.occupancy import wavefront_slots, workgroup_slots
+
+
+def test_gather_bytes_depend_on_cache_fit():
+    small_vector = MI100.l2_cache_bytes // 2
+    huge_vector = MI100.l2_cache_bytes * 4
+    assert gather_bytes_per_access(MI100, small_vector) == CACHED_GATHER_BYTES
+    assert gather_bytes_per_access(MI100, huge_vector) == UNCACHED_GATHER_BYTES
+
+
+def test_memory_time_scales_linearly():
+    one = memory_time_ms(MI100, 1e9)
+    two = memory_time_ms(MI100, 2e9)
+    assert two == pytest.approx(2.0 * one)
+
+
+def test_effective_bandwidth_clamps_utilization():
+    assert effective_bandwidth_gb_s(MI100, 2.0) == MI100.mem_bandwidth_gb_s
+    assert effective_bandwidth_gb_s(MI100, 0.5) == pytest.approx(
+        0.5 * MI100.mem_bandwidth_gb_s
+    )
+
+
+def test_wavefront_slots():
+    assert wavefront_slots(MI100) == MI100.num_cus * MI100.max_waves_per_cu
+    assert wavefront_slots(MI100, 0.5) == MI100.num_cus * max(
+        1, round(MI100.max_waves_per_cu * 0.5)
+    )
+    with pytest.raises(ValueError):
+        wavefront_slots(MI100, 0.0)
+    with pytest.raises(ValueError):
+        wavefront_slots(MI100, 1.5)
+
+
+def test_workgroup_slots():
+    assert workgroup_slots(MI100, 4) == wavefront_slots(MI100) // 4
+    assert workgroup_slots(MI100, 10_000) == 1
+    with pytest.raises(ValueError):
+        workgroup_slots(MI100, 0)
+
+
+def test_host_sequential_time_grows_linearly():
+    host = HostModel(MI100)
+    base = host.sequential_time_ms(0)
+    assert base == pytest.approx(HOST_CALL_OVERHEAD_MS)
+    one = host.sequential_time_ms(1_000_000)
+    two = host.sequential_time_ms(2_000_000)
+    assert (two - base) == pytest.approx(2.0 * (one - base), rel=1e-9)
+    with pytest.raises(ValueError):
+        host.sequential_time_ms(-1)
+
+
+def test_host_transfer_time():
+    host = HostModel(MI100)
+    small = host.transfer_time_ms(0)
+    assert small == pytest.approx(MI100.host_transfer_ms)
+    assert host.transfer_time_ms(16_000_000_000) > 900.0  # ~1 s at 16 GB/s
+    with pytest.raises(ValueError):
+        host.transfer_time_ms(-1)

@@ -1,0 +1,109 @@
+"""Tests for the kernel-launch timing model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import MI100, SMALL_GPU
+from repro.gpu.memory import memory_time_ms
+from repro.gpu.occupancy import wavefront_slots
+from repro.gpu.simulator import (
+    GPUSimulator,
+    group_reduce_max,
+    group_reduce_sum,
+    simulate_launch,
+)
+
+
+def test_launch_overhead_floor():
+    result = simulate_launch(MI100, [1.0], bytes_moved=64.0)
+    assert result.total_ms == pytest.approx(MI100.launch_overhead_ms, rel=1e-3)
+    assert result.bound == "overhead"
+
+
+def test_memory_bound_launch():
+    gigabyte = 1e9
+    result = simulate_launch(MI100, np.ones(1000), bytes_moved=gigabyte)
+    assert result.bound == "memory"
+    assert result.total_ms == pytest.approx(
+        MI100.launch_overhead_ms + memory_time_ms(MI100, gigabyte), rel=1e-6
+    )
+
+
+def test_compute_bound_launch_uses_makespan():
+    slots = wavefront_slots(MI100)
+    cycles = np.full(10 * slots, 1e6)
+    result = simulate_launch(MI100, cycles, bytes_moved=0.0)
+    expected_cycles = cycles.sum() / slots
+    assert result.compute_ms == pytest.approx(
+        expected_cycles * MI100.cycle_time_ns * 1e-6, rel=1e-6
+    )
+    assert result.bound == "compute"
+
+
+def test_single_huge_wavefront_dominates():
+    cycles = np.ones(1000)
+    cycles[0] = 1e9
+    result = simulate_launch(MI100, cycles, bytes_moved=0.0)
+    assert result.compute_ms == pytest.approx(1e9 * MI100.cycle_time_ns * 1e-6, rel=1e-6)
+
+
+def test_bandwidth_utilization_scales_memory_time():
+    full = simulate_launch(MI100, [1.0], bytes_moved=1e9, bandwidth_utilization=1.0)
+    half = simulate_launch(MI100, [1.0], bytes_moved=1e9, bandwidth_utilization=0.5)
+    assert half.memory_ms == pytest.approx(2.0 * full.memory_ms, rel=1e-9)
+
+
+def test_serial_cycles_are_an_independent_roofline():
+    result = simulate_launch(MI100, [1.0], bytes_moved=0.0, serial_cycles=1e9)
+    assert result.total_ms == pytest.approx(
+        MI100.launch_overhead_ms + 1e9 * MI100.cycle_time_ns * 1e-6, rel=1e-6
+    )
+
+
+def test_extra_launches_add_overhead():
+    one = simulate_launch(MI100, [1.0], bytes_moved=0.0)
+    two = simulate_launch(MI100, [1.0], bytes_moved=0.0, extra_launches=1)
+    assert two.total_ms == pytest.approx(one.total_ms + MI100.launch_overhead_ms)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        simulate_launch(MI100, [-1.0], bytes_moved=0.0)
+    with pytest.raises(ValueError):
+        simulate_launch(MI100, [1.0], bytes_moved=-5.0)
+    with pytest.raises(ValueError):
+        simulate_launch(MI100, [1.0], bytes_moved=0.0, serial_cycles=-1.0)
+
+
+def test_empty_launch_costs_only_overhead():
+    result = simulate_launch(MI100, np.array([]), bytes_moved=0.0)
+    assert result.total_ms == pytest.approx(MI100.launch_overhead_ms)
+    assert result.num_wavefronts == 0
+
+
+def test_more_parallelism_is_never_slower():
+    cycles = np.full(100_000, 200.0)
+    small = simulate_launch(SMALL_GPU, cycles, bytes_moved=0.0)
+    large = simulate_launch(MI100, cycles, bytes_moved=0.0)
+    assert large.compute_ms < small.compute_ms
+
+
+def test_gpu_simulator_accumulates_history():
+    simulator = GPUSimulator(device=MI100)
+    simulator.launch([10.0], bytes_moved=100.0, label="a")
+    simulator.launch([10.0], bytes_moved=100.0, label="b")
+    assert len(simulator.history) == 2
+    assert simulator.total_time_ms() == pytest.approx(
+        sum(r.total_ms for r in simulator.history)
+    )
+    simulator.reset()
+    assert simulator.history == []
+
+
+def test_group_reduce_helpers():
+    values = np.array([1.0, 5.0, 2.0, 7.0, 3.0])
+    np.testing.assert_allclose(group_reduce_max(values, 2), [5.0, 7.0, 3.0])
+    np.testing.assert_allclose(group_reduce_sum(values, 2), [6.0, 9.0, 3.0])
+    assert group_reduce_max(np.array([]), 4).size == 0
+    with pytest.raises(ValueError):
+        group_reduce_max(values, 0)

@@ -1,0 +1,53 @@
+"""Tests for the feature-collection kernels and their cost model."""
+
+import pytest
+
+from repro.gpu.device import MI100
+from repro.kernels.feature_kernels import FeatureCollector
+from repro.sparse.features import gathered_features
+from repro.sparse.generators import power_law_matrix, regular_matrix
+
+
+def test_collected_features_match_direct_computation():
+    matrix = power_law_matrix(5_000, 5_000, 6.0, rng=1)
+    collector = FeatureCollector(MI100)
+    result = collector.collect(matrix)
+    direct = gathered_features(matrix)
+    assert result.features.as_vector().tolist() == direct.as_vector().tolist()
+    assert result.features.collection_time_ms == pytest.approx(result.collection_time_ms)
+
+
+def test_collection_cost_is_positive_and_includes_transfer():
+    matrix = regular_matrix(1_000, 1_000, 4, rng=2)
+    collector = FeatureCollector(MI100)
+    cost = collector.collection_time_ms(matrix)
+    # two launches plus a host transfer at the very least
+    assert cost >= 2 * MI100.launch_overhead_ms + MI100.host_transfer_ms
+
+
+def test_collection_cost_grows_with_rows_but_slowly():
+    collector = FeatureCollector(MI100)
+    small = collector.collection_time_ms(regular_matrix(1_000, 1_000, 4, rng=3))
+    large = collector.collection_time_ms(regular_matrix(1_000_000, 1_000_000, 4, rng=4))
+    assert large > small
+    # Collection only touches the row offsets, so even a 1000x larger matrix
+    # costs well under 10x more.
+    assert large < 10 * small
+
+
+def test_collection_cost_independent_of_nnz_density():
+    collector = FeatureCollector(MI100)
+    sparse = collector.collection_time_ms(regular_matrix(100_000, 100_000, 2, rng=5))
+    dense = collector.collection_time_ms(regular_matrix(100_000, 100_000, 32, rng=6))
+    assert dense == pytest.approx(sparse, rel=0.01)
+
+
+def test_collection_cheaper_than_spmv_only_for_large_matrices():
+    from repro.kernels.csr_block import CsrBlockMapped
+
+    collector = FeatureCollector(MI100)
+    kernel = CsrBlockMapped(MI100)
+    small = regular_matrix(2_000, 2_000, 8, rng=7)
+    large = regular_matrix(1_000_000, 1_000_000, 8, rng=8)
+    assert collector.collection_time_ms(small) > kernel.timing(small).iteration_ms
+    assert collector.collection_time_ms(large) < kernel.timing(large).iteration_ms

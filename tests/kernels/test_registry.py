@@ -1,0 +1,53 @@
+"""Tests for the kernel registry."""
+
+import pytest
+
+from repro.gpu.device import SMALL_GPU
+from repro.kernels.registry import (
+    ALL_KERNEL_NAMES,
+    FIG5_KERNEL_NAMES,
+    KERNEL_CLASSES,
+    default_kernels,
+    kernel_names,
+    make_kernel,
+)
+
+
+def test_registry_contains_the_table_ii_variants():
+    assert set(FIG5_KERNEL_NAMES) == {
+        "CSR,A",
+        "CSR,BM",
+        "CSR,MP",
+        "CSR,WM",
+        "CSR,WO",
+        "CSR,TM",
+        "COO,WM",
+        "ELL,TM",
+    }
+    assert "rocSPARSE" in ALL_KERNEL_NAMES
+    assert set(ALL_KERNEL_NAMES) == set(KERNEL_CLASSES)
+
+
+def test_formats_cover_csr_coo_ell():
+    formats = {cls.sparse_format for cls in KERNEL_CLASSES.values()}
+    assert formats == {"CSR", "COO", "ELL"}
+
+
+def test_make_kernel_and_device_propagation():
+    kernel = make_kernel("CSR,WM", SMALL_GPU)
+    assert kernel.device is SMALL_GPU
+    with pytest.raises(KeyError):
+        make_kernel("CSR,XYZ")
+
+
+def test_default_kernels_order_and_rocsparse_toggle():
+    with_vendor = default_kernels()
+    without_vendor = default_kernels(include_rocsparse=False)
+    assert [k.name for k in with_vendor] == list(ALL_KERNEL_NAMES)
+    assert [k.name for k in without_vendor] == list(FIG5_KERNEL_NAMES)
+    assert kernel_names(include_rocsparse=False) == FIG5_KERNEL_NAMES
+
+
+def test_kernel_names_are_unique_labels():
+    names = [cls.name for cls in KERNEL_CLASSES.values()]
+    assert len(names) == len(set(names))

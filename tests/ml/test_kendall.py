@@ -1,0 +1,58 @@
+"""Tests for Kendall's tau (validated against scipy)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.ml.kendall import kendall_tau
+
+
+def test_perfect_agreement_and_disagreement():
+    x = [1.0, 2.0, 3.0, 4.0]
+    assert kendall_tau(x, x) == pytest.approx(1.0)
+    assert kendall_tau(x, list(reversed(x))) == pytest.approx(-1.0)
+
+
+def test_constant_input_returns_nan():
+    assert math.isnan(kendall_tau([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]))
+    assert math.isnan(kendall_tau([1.0, 2.0, 3.0], [5.0, 5.0, 5.0]))
+
+
+def test_matches_scipy_without_ties():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        x = rng.normal(size=50)
+        y = rng.normal(size=50)
+        expected = stats.kendalltau(x, y).statistic
+        assert kendall_tau(x, y) == pytest.approx(expected, abs=1e-12)
+
+
+def test_matches_scipy_with_ties():
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        x = rng.integers(0, 5, size=60).astype(float)
+        y = rng.integers(0, 4, size=60).astype(float)
+        expected = stats.kendalltau(x, y).statistic
+        ours = kendall_tau(x, y)
+        if math.isnan(expected):
+            assert math.isnan(ours)
+        else:
+            assert ours == pytest.approx(expected, abs=1e-12)
+
+
+def test_monotonic_transform_invariance():
+    rng = np.random.default_rng(2)
+    x = rng.uniform(size=40)
+    y = rng.uniform(size=40)
+    tau = kendall_tau(x, y)
+    assert kendall_tau(np.exp(x), y) == pytest.approx(tau, abs=1e-12)
+    assert kendall_tau(x, 3.0 * y + 7.0) == pytest.approx(tau, abs=1e-12)
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        kendall_tau([1.0], [1.0])
+    with pytest.raises(ValueError):
+        kendall_tau([1.0, 2.0], [1.0, 2.0, 3.0])

@@ -1,0 +1,121 @@
+"""Tests for metrics, train/test splitting and label encoding."""
+
+import numpy as np
+import pytest
+
+from repro.ml.encoders import LabelEncoder
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    geometric_mean,
+    geomean_speedup,
+    relative_error_to_oracle,
+)
+from repro.ml.split import train_test_split
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_accuracy_score():
+    assert accuracy_score(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+    assert accuracy_score(["a", "b"], ["a", "c"]) == 0.5
+    with pytest.raises(ValueError):
+        accuracy_score([], [])
+    with pytest.raises(ValueError):
+        accuracy_score(["a"], ["a", "b"])
+
+
+def test_confusion_matrix():
+    matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+    assert labels == ["a", "b"]
+    np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+    assert matrix.sum() == 3
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_geomean_speedup():
+    baseline = [2.0, 8.0]
+    candidate = [1.0, 2.0]
+    assert geomean_speedup(baseline, candidate) == pytest.approx(np.sqrt(8.0))
+    with pytest.raises(ValueError):
+        geomean_speedup([1.0], [1.0, 2.0])
+
+
+def test_relative_error_to_oracle():
+    assert relative_error_to_oracle([1.0, 1.0], [1.0, 1.0]) == pytest.approx(0.0)
+    assert relative_error_to_oracle([1.0, 1.0], [2.0, 2.0]) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        relative_error_to_oracle([0.0], [1.0])
+
+
+# ----------------------------------------------------------------------
+# Train/test split
+# ----------------------------------------------------------------------
+def test_split_sizes_and_disjointness():
+    train, test = train_test_split(100, test_fraction=0.2, seed=1)
+    assert len(train) == 80
+    assert len(test) == 20
+    assert set(train).isdisjoint(test)
+    assert set(train) | set(test) == set(range(100))
+
+
+def test_split_is_deterministic_per_seed():
+    first = train_test_split(50, seed=7)
+    second = train_test_split(50, seed=7)
+    third = train_test_split(50, seed=8)
+    np.testing.assert_array_equal(first[1], second[1])
+    assert not np.array_equal(first[1], third[1])
+
+
+def test_stratified_split_covers_every_label():
+    labels = ["a"] * 40 + ["b"] * 10 + ["c"] * 2
+    train, test = train_test_split(52, test_fraction=0.2, seed=3, stratify=labels)
+    train_labels = {labels[i] for i in train}
+    assert train_labels == {"a", "b", "c"}
+    # the rare class (2 samples) must not be drained into the test set
+    assert sum(1 for i in train if labels[i] == "c") >= 1
+
+
+def test_split_validation():
+    with pytest.raises(ValueError):
+        train_test_split(10, test_fraction=0.0)
+    with pytest.raises(ValueError):
+        train_test_split(1)
+    with pytest.raises(ValueError):
+        train_test_split(10, stratify=["a"] * 9)
+
+
+# ----------------------------------------------------------------------
+# Label encoder
+# ----------------------------------------------------------------------
+def test_label_encoder_round_trip():
+    encoder = LabelEncoder()
+    codes = encoder.fit_transform(["CSR,TM", "ELL,TM", "CSR,TM"])
+    assert encoder.classes_ == ["CSR,TM", "ELL,TM"]
+    assert codes.tolist() == [0, 1, 0]
+    assert encoder.inverse_transform([1, 0]) == ["ELL,TM", "CSR,TM"]
+
+
+def test_label_encoder_rejects_unknown_labels_and_codes():
+    encoder = LabelEncoder().fit(["a", "b"])
+    with pytest.raises(ValueError):
+        encoder.transform(["c"])
+    with pytest.raises(ValueError):
+        encoder.inverse_transform([5])
+    with pytest.raises(RuntimeError):
+        LabelEncoder().transform(["a"])
+
+
+def test_label_encoder_is_deterministic():
+    first = LabelEncoder().fit(["b", "a", "c"])
+    second = LabelEncoder().fit(["c", "b", "a"])
+    assert first.classes_ == second.classes_

@@ -1,0 +1,93 @@
+"""Tests for the synthetic SuiteSparse-like collection."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.collection import (
+    ARCHETYPE_BUILDERS,
+    CollectionProfile,
+    archetype,
+    build_collection,
+    collection_specs,
+    iter_collection,
+)
+
+
+def test_profile_lookup_and_validation():
+    profile = CollectionProfile.from_name("tiny")
+    assert profile.sizes
+    with pytest.raises(ValueError):
+        CollectionProfile.from_name("enormous")
+
+
+def test_collection_specs_have_unique_names():
+    specs = collection_specs("small")
+    names = [spec.name for spec in specs]
+    assert len(names) == len(set(names))
+
+
+def test_build_collection_tiny_profile():
+    collection = build_collection("tiny")
+    assert len(collection) == len(collection_specs("tiny"))
+    assert len(collection.families()) >= 8
+    # names resolve back to records
+    first = collection.records[0]
+    assert collection.get(first.name) is first
+    with pytest.raises(KeyError):
+        collection.get("no_such_matrix")
+
+
+def test_iter_collection_matches_build_collection():
+    streamed = {record.name: record.matrix.nnz for record in iter_collection("tiny")}
+    built = {record.name: record.matrix.nnz for record in build_collection("tiny")}
+    assert streamed == built
+
+
+def test_collection_is_reproducible():
+    first = build_collection("tiny", base_seed=3)
+    second = build_collection("tiny", base_seed=3)
+    for a, b in zip(first, second):
+        assert a.name == b.name
+        np.testing.assert_array_equal(a.matrix.row_offsets, b.matrix.row_offsets)
+        np.testing.assert_allclose(a.matrix.values, b.matrix.values)
+
+
+def test_collection_changes_with_seed():
+    first = build_collection("tiny", base_seed=3)
+    second = build_collection("tiny", base_seed=4)
+    different = any(
+        a.matrix.nnz != b.matrix.nnz
+        or not np.array_equal(a.matrix.col_indices, b.matrix.col_indices)
+        for a, b in zip(first, second)
+    )
+    assert different
+
+
+def test_collection_covers_diverse_structures():
+    collection = build_collection("tiny")
+    variances = {}
+    for record in collection:
+        lengths = record.matrix.row_lengths()
+        variances[record.family] = float(lengths.var())
+    # at least one essentially uniform family and one strongly irregular one
+    assert min(variances.values()) == pytest.approx(0.0)
+    assert max(variances.values()) > 10.0
+
+
+@pytest.mark.parametrize("name", sorted(ARCHETYPE_BUILDERS))
+def test_archetypes_build_at_small_scale(name):
+    record = archetype(name, scale=64)
+    assert record.matrix.nnz > 0
+    assert record.name == name
+
+
+def test_archetype_unknown_name():
+    with pytest.raises(KeyError):
+        archetype("not_a_matrix")
+
+
+def test_archetype_structures_match_their_stories():
+    uniform = archetype("G3_Circuit_like", scale=64).matrix
+    assert uniform.row_lengths().var() == pytest.approx(0.0)
+    skewed = archetype("matrix_new_3_like", scale=256).matrix
+    assert skewed.row_lengths().max() > 10 * skewed.row_lengths().mean()

@@ -1,0 +1,86 @@
+"""Tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix, SparseFormatError
+
+
+def _example():
+    dense = np.array(
+        [
+            [1.0, 0.0, 2.0],
+            [0.0, 0.0, 0.0],
+            [3.0, 4.0, 0.0],
+            [0.0, 0.0, 5.0],
+        ]
+    )
+    return dense, COOMatrix.from_dense(dense)
+
+
+def test_from_dense_round_trip():
+    dense, coo = _example()
+    assert coo.shape == (4, 3)
+    assert coo.nnz == 5
+    np.testing.assert_allclose(coo.to_dense(), dense)
+
+
+def test_spmv_matches_dense():
+    dense, coo = _example()
+    x = np.array([1.0, 2.0, 3.0])
+    np.testing.assert_allclose(coo.spmv(x), dense @ x)
+
+
+def test_spmv_rejects_wrong_vector_shape():
+    _, coo = _example()
+    with pytest.raises(ValueError):
+        coo.spmv(np.ones(5))
+
+
+def test_row_lengths_counts_entries_per_row():
+    _, coo = _example()
+    np.testing.assert_array_equal(coo.row_lengths(), [2, 0, 2, 1])
+
+
+def test_sorted_by_row_orders_entries():
+    coo = COOMatrix(
+        num_rows=3,
+        num_cols=3,
+        rows=[2, 0, 1, 0],
+        cols=[1, 2, 0, 0],
+        values=[1.0, 2.0, 3.0, 4.0],
+    )
+    ordered = coo.sorted_by_row()
+    assert list(ordered.rows) == [0, 0, 1, 2]
+    assert list(ordered.cols) == [0, 2, 0, 1]
+
+
+def test_deduplicated_sums_duplicates():
+    coo = COOMatrix(
+        num_rows=2,
+        num_cols=2,
+        rows=[0, 0, 1],
+        cols=[1, 1, 0],
+        values=[1.5, 2.5, 1.0],
+    )
+    deduped = coo.deduplicated()
+    assert deduped.nnz == 2
+    np.testing.assert_allclose(deduped.to_dense(), [[0.0, 4.0], [1.0, 0.0]])
+
+
+def test_out_of_bounds_indices_rejected():
+    with pytest.raises(SparseFormatError):
+        COOMatrix(num_rows=2, num_cols=2, rows=[0, 2], cols=[0, 1], values=[1.0, 1.0])
+    with pytest.raises(SparseFormatError):
+        COOMatrix(num_rows=2, num_cols=2, rows=[0, 1], cols=[0, -1], values=[1.0, 1.0])
+
+
+def test_mismatched_array_lengths_rejected():
+    with pytest.raises(SparseFormatError):
+        COOMatrix(num_rows=2, num_cols=2, rows=[0], cols=[0, 1], values=[1.0, 1.0])
+
+
+def test_empty_matrix_is_valid():
+    coo = COOMatrix(num_rows=3, num_cols=4, rows=[], cols=[], values=[])
+    assert coo.nnz == 0
+    np.testing.assert_allclose(coo.spmv(np.ones(4)), np.zeros(3))

@@ -1,0 +1,124 @@
+"""Tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix, SparseFormatError
+from repro.sparse.csr import CSRMatrix
+
+
+def _dense_example():
+    return np.array(
+        [
+            [0.0, 1.0, 0.0, 2.0],
+            [0.0, 0.0, 0.0, 0.0],
+            [3.0, 0.0, 4.0, 0.0],
+            [0.0, 5.0, 6.0, 7.0],
+            [0.0, 0.0, 0.0, 0.0],
+        ]
+    )
+
+
+def test_dense_round_trip():
+    dense = _dense_example()
+    csr = CSRMatrix.from_dense(dense)
+    assert csr.shape == dense.shape
+    assert csr.nnz == 7
+    np.testing.assert_allclose(csr.to_dense(), dense)
+
+
+def test_coo_round_trip_preserves_values():
+    dense = _dense_example()
+    csr = CSRMatrix.from_dense(dense)
+    back = CSRMatrix.from_coo(csr.to_coo())
+    np.testing.assert_allclose(back.to_dense(), dense)
+
+
+def test_spmv_matches_dense_product():
+    dense = _dense_example()
+    csr = CSRMatrix.from_dense(dense)
+    x = np.array([1.0, -1.0, 2.0, 0.5])
+    np.testing.assert_allclose(csr.spmv(x), dense @ x)
+
+
+def test_spmv_handles_empty_rows_and_trailing_empty_rows():
+    dense = np.zeros((4, 3))
+    dense[1, 2] = 5.0
+    csr = CSRMatrix.from_dense(dense)
+    result = csr.spmv(np.array([1.0, 1.0, 2.0]))
+    np.testing.assert_allclose(result, [0.0, 10.0, 0.0, 0.0])
+
+
+def test_spmv_empty_matrix():
+    csr = CSRMatrix(
+        num_rows=3,
+        num_cols=3,
+        row_offsets=np.zeros(4, dtype=np.int64),
+        col_indices=np.array([], dtype=np.int64),
+        values=np.array([]),
+    )
+    np.testing.assert_allclose(csr.spmv(np.ones(3)), np.zeros(3))
+
+
+def test_row_lengths_and_row_slice():
+    csr = CSRMatrix.from_dense(_dense_example())
+    np.testing.assert_array_equal(csr.row_lengths(), [2, 0, 2, 3, 0])
+    cols, values = csr.row_slice(3)
+    np.testing.assert_array_equal(cols, [1, 2, 3])
+    np.testing.assert_allclose(values, [5.0, 6.0, 7.0])
+
+
+def test_transpose_matches_dense_transpose():
+    dense = _dense_example()
+    csr = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(csr.transpose().to_dense(), dense.T)
+
+
+def test_from_row_lengths_produces_requested_structure():
+    rng = np.random.default_rng(3)
+    lengths = np.array([0, 3, 1, 5, 2])
+    csr = CSRMatrix.from_row_lengths(lengths, num_cols=16, rng=rng)
+    np.testing.assert_array_equal(csr.row_lengths(), lengths)
+    # Columns within each row are unique.
+    for row in range(csr.num_rows):
+        cols, _ = csr.row_slice(row)
+        assert len(set(cols.tolist())) == len(cols)
+
+
+def test_validation_rejects_bad_offsets():
+    with pytest.raises(SparseFormatError):
+        CSRMatrix(
+            num_rows=2,
+            num_cols=2,
+            row_offsets=np.array([0, 2]),  # wrong length
+            col_indices=np.array([0, 1]),
+            values=np.array([1.0, 2.0]),
+        )
+    with pytest.raises(SparseFormatError):
+        CSRMatrix(
+            num_rows=2,
+            num_cols=2,
+            row_offsets=np.array([0, 2, 1]),  # decreasing
+            col_indices=np.array([0, 1]),
+            values=np.array([1.0, 2.0]),
+        )
+
+
+def test_validation_rejects_out_of_range_columns():
+    with pytest.raises(SparseFormatError):
+        CSRMatrix(
+            num_rows=1,
+            num_cols=2,
+            row_offsets=np.array([0, 1]),
+            col_indices=np.array([5]),
+            values=np.array([1.0]),
+        )
+
+
+def test_csr_and_coo_spmv_agree(small_matrices):
+    for name, matrix in small_matrices.items():
+        x = np.random.default_rng(7).uniform(-1, 1, matrix.num_cols)
+        np.testing.assert_allclose(
+            matrix.spmv(x), matrix.to_coo().spmv(x), rtol=1e-10, atol=1e-12,
+            err_msg=f"family {name}"
+        )

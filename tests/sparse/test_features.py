@@ -1,0 +1,101 @@
+"""Tests for known/gathered feature computation."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.features import (
+    ALL_FEATURE_NAMES,
+    GATHERED_FEATURE_NAMES,
+    KNOWN_FEATURE_NAMES,
+    GatheredFeatures,
+    KnownFeatures,
+    feature_vector,
+    gathered_features,
+    known_features,
+)
+from repro.sparse.generators import regular_matrix, skewed_matrix
+
+
+def test_known_features_match_matrix_metadata():
+    matrix = regular_matrix(128, 96, 4, rng=1)
+    known = known_features(matrix, iterations=7)
+    assert known.rows == 128
+    assert known.cols == 96
+    assert known.nnz == matrix.nnz
+    assert known.iterations == 7
+
+
+def test_known_feature_vector_order_matches_names():
+    known = KnownFeatures(rows=3, cols=4, nnz=5, iterations=2)
+    vector = known.as_vector()
+    assert vector.shape == (len(KNOWN_FEATURE_NAMES),)
+    assert list(vector) == [3.0, 4.0, 5.0, 2.0]
+    assert known.as_dict() == {"rows": 3, "cols": 4, "nnz": 5, "iterations": 2}
+
+
+def test_with_iterations_returns_new_object():
+    known = KnownFeatures(rows=3, cols=4, nnz=5)
+    other = known.with_iterations(19)
+    assert known.iterations == 1
+    assert other.iterations == 19
+    assert other.rows == known.rows
+
+
+def test_gathered_features_of_uniform_matrix():
+    matrix = regular_matrix(64, 128, 8, rng=2)
+    gathered = gathered_features(matrix)
+    expected_density = 8 / 128
+    assert gathered.max_row_density == pytest.approx(expected_density)
+    assert gathered.min_row_density == pytest.approx(expected_density)
+    assert gathered.mean_row_density == pytest.approx(expected_density)
+    assert gathered.var_row_density == pytest.approx(0.0)
+
+
+def test_gathered_features_of_skewed_matrix_have_variance():
+    matrix = skewed_matrix(256, 256, 2, 4, 200, rng=3)
+    gathered = gathered_features(matrix)
+    assert gathered.max_row_density > gathered.mean_row_density
+    assert gathered.var_row_density > 0.0
+    assert gathered.min_row_density <= gathered.mean_row_density
+
+
+def test_gathered_features_match_manual_computation():
+    matrix = skewed_matrix(100, 50, 3, 2, 40, rng=4)
+    densities = matrix.row_lengths() / 50.0
+    gathered = gathered_features(matrix)
+    assert gathered.max_row_density == pytest.approx(densities.max())
+    assert gathered.min_row_density == pytest.approx(densities.min())
+    assert gathered.mean_row_density == pytest.approx(densities.mean())
+    assert gathered.var_row_density == pytest.approx(densities.var())
+
+
+def test_gathered_features_of_degenerate_matrix_are_zero():
+    empty = CSRMatrix(
+        num_rows=0,
+        num_cols=0,
+        row_offsets=np.zeros(1, dtype=np.int64),
+        col_indices=np.array([], dtype=np.int64),
+        values=np.array([]),
+    )
+    gathered = gathered_features(empty)
+    assert gathered.as_vector().tolist() == [0.0, 0.0, 0.0, 0.0]
+
+
+def test_with_collection_time_preserves_values():
+    gathered = GatheredFeatures(0.5, 0.1, 0.2, 0.05)
+    timed = gathered.with_collection_time(1.25)
+    assert timed.collection_time_ms == pytest.approx(1.25)
+    assert timed.as_vector().tolist() == gathered.as_vector().tolist()
+    # collection time does not participate in equality
+    assert timed == gathered
+
+
+def test_feature_vector_concatenates_known_and_gathered():
+    known = KnownFeatures(rows=3, cols=4, nnz=5, iterations=1)
+    gathered = GatheredFeatures(0.5, 0.1, 0.2, 0.05)
+    full = feature_vector(known, gathered)
+    assert full.shape == (len(ALL_FEATURE_NAMES),)
+    assert list(full[:4]) == list(known.as_vector())
+    assert list(full[4:]) == list(gathered.as_vector())
+    assert ALL_FEATURE_NAMES == KNOWN_FEATURE_NAMES + GATHERED_FEATURE_NAMES

@@ -1,0 +1,87 @@
+"""Tests for Matrix-Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.generators import power_law_matrix
+from repro.sparse.io import MatrixMarketError, read_matrix_market, write_matrix_market
+
+
+def test_write_read_round_trip(tmp_path):
+    matrix = power_law_matrix(50, 40, 4.0, rng=1)
+    path = tmp_path / "matrix.mtx"
+    write_matrix_market(matrix, path)
+    loaded = read_matrix_market(path)
+    np.testing.assert_allclose(loaded.to_dense(), matrix.to_dense())
+
+
+def test_read_pattern_matrix(tmp_path):
+    path = tmp_path / "pattern.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% comment line\n"
+        "3 3 2\n"
+        "1 1\n"
+        "3 2\n"
+    )
+    matrix = read_matrix_market(path)
+    dense = np.zeros((3, 3))
+    dense[0, 0] = 1.0
+    dense[2, 1] = 1.0
+    np.testing.assert_allclose(matrix.to_dense(), dense)
+
+
+def test_read_symmetric_matrix_mirrors_entries(tmp_path):
+    path = tmp_path / "symmetric.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 2.0\n"
+        "2 1 3.0\n"
+        "3 2 4.0\n"
+    )
+    dense = read_matrix_market(path).to_dense()
+    expected = np.array([[2.0, 3.0, 0.0], [3.0, 0.0, 4.0], [0.0, 4.0, 0.0]])
+    np.testing.assert_allclose(dense, expected)
+
+
+def test_read_skew_symmetric_matrix(tmp_path):
+    path = tmp_path / "skew.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 5.0\n"
+    )
+    dense = read_matrix_market(path).to_dense()
+    np.testing.assert_allclose(dense, [[0.0, -5.0], [5.0, 0.0]])
+
+
+def test_read_as_coo(tmp_path):
+    matrix = power_law_matrix(20, 20, 3.0, rng=2)
+    path = tmp_path / "coo.mtx"
+    write_matrix_market(matrix, path)
+    coo = read_matrix_market(path, as_csr=False)
+    assert not isinstance(coo, CSRMatrix)
+    np.testing.assert_allclose(coo.to_dense(), matrix.to_dense())
+
+
+def test_bad_header_rejected(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+    with pytest.raises(MatrixMarketError):
+        read_matrix_market(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "short.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n"
+    )
+    with pytest.raises(MatrixMarketError):
+        read_matrix_market(path)
+
+
+def test_write_rejects_unknown_type(tmp_path):
+    with pytest.raises(TypeError):
+        write_matrix_market(np.eye(3), tmp_path / "dense.mtx")

@@ -1,0 +1,85 @@
+"""Property-based tests for the sparse formats (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.features import gathered_features
+from repro.sparse.generators import matrix_from_row_lengths
+
+
+@st.composite
+def dense_matrices(draw):
+    """Small random dense matrices with controlled sparsity."""
+    rows = draw(st.integers(min_value=1, max_value=12))
+    cols = draw(st.integers(min_value=1, max_value=12))
+    density = draw(st.floats(min_value=0.0, max_value=0.7))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(-2.0, 2.0, size=(rows, cols))
+    mask = rng.uniform(size=(rows, cols)) < density
+    return dense * mask
+
+
+@st.composite
+def row_length_specs(draw):
+    """Row-length vectors plus a column count that can accommodate them."""
+    lengths = draw(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=40)
+    )
+    cols = draw(st.integers(min_value=max(lengths + [1]), max_value=64))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return np.array(lengths, dtype=np.int64), cols, seed
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_round_trip_preserves_dense(dense):
+    csr = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(csr.to_dense(), dense)
+    assert csr.nnz == int(np.count_nonzero(dense))
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_spmv_agrees_across_formats(dense):
+    csr = CSRMatrix.from_dense(dense)
+    coo = csr.to_coo()
+    ell = ELLMatrix.from_csr(csr, max_padding_ratio=float("inf"))
+    x = np.linspace(-1.0, 1.0, dense.shape[1])
+    expected = dense @ x
+    np.testing.assert_allclose(csr.spmv(x), expected, atol=1e-9)
+    np.testing.assert_allclose(coo.spmv(x), expected, atol=1e-9)
+    np.testing.assert_allclose(ell.spmv(x), expected, atol=1e-9)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_is_involution(dense):
+    csr = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(csr.transpose().transpose().to_dense(), dense)
+
+
+@given(row_length_specs())
+@settings(max_examples=60, deadline=None)
+def test_generated_matrices_respect_row_lengths(spec):
+    lengths, cols, seed = spec
+    matrix = matrix_from_row_lengths(lengths, cols, rng=seed)
+    np.testing.assert_array_equal(matrix.row_lengths(), np.minimum(lengths, cols))
+    matrix.validate()
+
+
+@given(row_length_specs())
+@settings(max_examples=60, deadline=None)
+def test_gathered_feature_invariants(spec):
+    lengths, cols, seed = spec
+    matrix = matrix_from_row_lengths(lengths, cols, rng=seed)
+    gathered = gathered_features(matrix)
+    assert 0.0 <= gathered.min_row_density <= gathered.mean_row_density
+    assert gathered.mean_row_density <= gathered.max_row_density <= 1.0
+    assert gathered.var_row_density >= 0.0
+    # variance is zero exactly when all row lengths are equal
+    if len(set(np.minimum(lengths, cols).tolist())) == 1:
+        assert gathered.var_row_density == 0.0

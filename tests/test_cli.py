@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_every_experiment():
+    parser = build_parser()
+    for command in ["sweep", "fig1", "fig5", "fig6", "fig7", "table1", "table3", "accuracy"]:
+        args = parser.parse_args([command] if command in ("table1", "fig6") else [command, "--profile", "tiny"])
+        assert callable(args.func)
+
+
+def test_cli_requires_a_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_rejects_unknown_profile():
+    with pytest.raises(SystemExit):
+        main(["fig1", "--profile", "gigantic"])
+
+
+def test_cli_table1_runs(capsys):
+    assert main(["table1"]) == 0
+    output = capsys.readouterr().out
+    assert "Table I" in output
+
+
+def test_cli_fig6_runs(capsys):
+    assert main(["fig6"]) == 0
+    output = capsys.readouterr().out
+    assert "crossover" in output
+
+
+def test_cli_sweep_exports_artifacts(tmp_path, capsys):
+    assert main(["sweep", "--profile", "tiny", "--output-dir", str(tmp_path)]) == 0
+    output = capsys.readouterr().out
+    assert "selector slowdown vs Oracle" in output
+    assert (tmp_path / "runtime.csv").exists()
+    assert (tmp_path / "seer_models.h").exists()
+    assert (tmp_path / "seer_models.py").exists()
+
+
+def test_cli_fig1_on_tiny_profile(capsys):
+    assert main(["fig1", "--profile", "tiny"]) == 0
+    assert "fastest kernel per matrix" in capsys.readouterr().out
