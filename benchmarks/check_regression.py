@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Benchmark regression guard.
+
+Compares a fresh ``pytest-benchmark`` JSON report against a committed
+baseline and fails (exit code 1) when any benchmark slowed down by more than
+the threshold factor.
+
+Because the baseline and the fresh run usually execute on different machines
+(a developer laptop vs. a CI runner), raw wall-clock means are not directly
+comparable.  By default every benchmark's mean is therefore normalized by the
+geometric mean of all benchmarks common to both reports — a global
+machine-speed factor cancels out, while a single benchmark regressing
+relative to the rest of the suite is still caught.  Pass ``--absolute`` to
+compare raw means instead (sensible when both runs share one machine).
+
+Usage::
+
+    python benchmarks/check_regression.py fresh.json \
+        --baseline benchmarks/baseline.json --threshold 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_means(path: str) -> dict:
+    """Map benchmark name -> mean seconds from a pytest-benchmark report."""
+    with open(path) as handle:
+        data = json.load(handle)
+    means = {}
+    for bench in data.get("benchmarks", []):
+        means[bench["fullname"]] = float(bench["stats"]["mean"])
+    if not means:
+        raise SystemExit(f"no benchmarks found in {path}")
+    return means
+
+
+def normalize(means: dict, names) -> dict:
+    """Divide each mean by the geometric mean over ``names``."""
+    logs = [math.log(means[name]) for name in names if means[name] > 0]
+    scale = math.exp(sum(logs) / len(logs)) if logs else 1.0
+    return {name: means[name] / scale for name in names}
+
+
+def compare(baseline: dict, fresh: dict, threshold: float, absolute: bool) -> list:
+    """Return (name, ratio) for every benchmark slower than ``threshold``."""
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        raise SystemExit("baseline and fresh report share no benchmarks")
+    for name in sorted(set(baseline) ^ set(fresh)):
+        side = "baseline" if name in baseline else "fresh report"
+        print(f"note: {name} only present in the {side}; skipped")
+    if not absolute:
+        baseline = normalize(baseline, common)
+        fresh = normalize(fresh, common)
+    regressions = []
+    for name in common:
+        ratio = fresh[name] / baseline[name] if baseline[name] > 0 else math.inf
+        flag = "REGRESSION" if ratio > threshold else "ok"
+        print(f"{flag:>10}  {ratio:6.2f}x  {name}")
+        if ratio > threshold:
+            regressions.append((name, ratio))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="pytest-benchmark JSON of the current run")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baseline.json",
+        help="committed pytest-benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when a benchmark is more than this factor slower",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw means instead of suite-normalized means",
+    )
+    args = parser.parse_args(argv)
+
+    regressions = compare(
+        load_means(args.baseline), load_means(args.fresh), args.threshold, args.absolute
+    )
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.1f}x:"
+        )
+        for name, ratio in regressions:
+            print(f"  {ratio:6.2f}x  {name}")
+        return 1
+    print(f"\nno benchmark regressed beyond {args.threshold:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

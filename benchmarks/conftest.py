@@ -13,6 +13,7 @@ import os
 
 import pytest
 
+from repro.bench.engine import engine_from_env
 from repro.bench.runner import run_sweep
 
 #: Environment variable selecting the collection profile for the benchmarks.
@@ -24,10 +25,39 @@ def bench_profile() -> str:
     return os.environ.get(PROFILE_ENV_VAR, "full")
 
 
+#: Profiles with enough structural diversity to back the paper-shape
+#: quality assertions (model accuracies, selector-vs-Oracle bounds).  The
+#: ``tiny``/``small`` profiles exist for quick smoke runs and CI timing
+#: guards; models trained on a couple dozen matrices cannot be held to the
+#: paper's quality bar.
+REPRESENTATIVE_PROFILES = ("medium", "full")
+
+
+def profile_is_representative() -> bool:
+    """Whether model-quality assertions are meaningful on this profile."""
+    return bench_profile() in REPRESENTATIVE_PROFILES
+
+
+def engine_bench_profile() -> str:
+    """Profile for the engine's own benchmarks.
+
+    The engine benchmarks run the benchmarking stage several times over
+    (serial reference, parallel run, cache population), so they default to
+    the cheaper ``small`` profile instead of ``full``; an explicit
+    ``SEER_BENCH_PROFILE`` still applies to them too.
+    """
+    return os.environ.get(PROFILE_ENV_VAR, "small")
+
+
 @pytest.fixture(scope="session")
 def paper_sweep():
-    """The end-to-end pipeline run shared by every figure/table benchmark."""
-    return run_sweep(profile=bench_profile())
+    """The end-to-end pipeline run shared by every figure/table benchmark.
+
+    The same ``SEER_JOBS``/``SEER_CACHE_DIR`` variables the experiment
+    drivers honour also parallelize/cache this fixture — only the sweep
+    *production* is affected, never the quantities being benchmarked.
+    """
+    return run_sweep(profile=bench_profile(), engine=engine_from_env())
 
 
 def record(benchmark, **extra_info) -> None:

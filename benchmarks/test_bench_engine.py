@@ -1,0 +1,62 @@
+"""Benchmarks of the sweep engine itself: parallel speedup and cache wins.
+
+These quantify what the engine buys over the serial reference path — the
+fan-out over worker processes on the benchmarking stage, and the cost of
+reloading a whole sweep from the on-disk artifact cache instead of
+recomputing it.  ``extra_info`` carries the serial-vs-parallel speedup so the
+regression guard and CI logs show it alongside the reproduced paper numbers.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import engine_bench_profile, record
+from repro.bench.engine import SweepEngine
+
+
+def test_bench_engine_parallel_speedup(benchmark):
+    """Benchmarking stage through the engine with one worker per CPU."""
+    profile = engine_bench_profile()
+    serial_engine = SweepEngine(jobs=1)
+    start = time.perf_counter()
+    serial_suite = serial_engine.run_benchmark_suite(profile=profile)
+    serial_s = time.perf_counter() - start
+
+    jobs = os.cpu_count() or 1
+    suite = benchmark.pedantic(
+        lambda: SweepEngine(jobs=jobs).run_benchmark_suite(profile=profile),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = benchmark.stats.stats.mean
+    assert suite.names() == serial_suite.names()
+    record(
+        benchmark,
+        profile=profile,
+        jobs=jobs,
+        matrices=len(suite),
+        serial_s=serial_s,
+        parallel_s=parallel_s,
+        speedup=serial_s / parallel_s if parallel_s else float("nan"),
+    )
+
+
+def test_bench_engine_cached_sweep_reload(benchmark, tmp_path):
+    """Serving a whole sweep from the on-disk cache (the steady state)."""
+    profile = engine_bench_profile()
+    populate = SweepEngine(jobs=1, cache_dir=tmp_path)
+    populate.run_sweep(profile=profile)
+
+    def reload_sweep():
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+        result = engine.run_sweep(profile=profile)
+        assert engine.stats.sweep_cache_hits == 1
+        return result
+
+    result = benchmark(reload_sweep)
+    record(
+        benchmark,
+        profile=profile,
+        matrices=len(result.suite),
+        samples=len(result.dataset),
+    )

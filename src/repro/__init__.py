@@ -17,8 +17,10 @@ Quickstart::
 """
 
 from repro.bench import (
+    EngineStats,
     EvaluationReport,
     OraclePredictor,
+    SweepEngine,
     SweepResult,
     evaluate_dataset,
     run_sweep,
@@ -47,11 +49,13 @@ from repro.sparse import (
     known_features,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "EngineStats",
     "EvaluationReport",
     "OraclePredictor",
+    "SweepEngine",
     "SweepResult",
     "evaluate_dataset",
     "run_sweep",

@@ -12,7 +12,14 @@ from repro.bench.evaluation import (
     evaluate_dataset,
     predictor_path_time_ms,
 )
-from repro.bench.runner import SweepResult, run_sweep
+from repro.bench.runner import SweepResult, assemble_sweep, run_sweep
+from repro.bench.engine import (
+    EngineStats,
+    SweepEngine,
+    code_version,
+    engine_from_env,
+    sweep_config_key,
+)
 
 __all__ = [
     "OraclePredictor",
@@ -21,5 +28,11 @@ __all__ = [
     "evaluate_dataset",
     "predictor_path_time_ms",
     "SweepResult",
+    "assemble_sweep",
     "run_sweep",
+    "EngineStats",
+    "SweepEngine",
+    "code_version",
+    "engine_from_env",
+    "sweep_config_key",
 ]

@@ -1,0 +1,454 @@
+"""Parallel, cached sweep engine.
+
+The experiment drivers all need the same expensive artifact — a benchmarked,
+trained and evaluated :class:`~repro.bench.runner.SweepResult` — and the
+serial reference path in :mod:`repro.bench.runner` recomputes it from
+scratch on every invocation.  :class:`SweepEngine` makes that artifact cheap
+to come by twice:
+
+* **Parallel benchmarking.**  The per-matrix benchmarking + feature
+  collection work is fanned out over worker processes
+  (:class:`concurrent.futures.ProcessPoolExecutor`).  Workers receive
+  :class:`~repro.sparse.collection.MatrixSpec` recipes — not built matrices —
+  so only small tuples cross the process boundary and every matrix is
+  generated, benchmarked and discarded inside one worker.  Results are
+  reassembled in spec order, so the parallel path is bit-identical to the
+  serial one.
+
+* **Persistent caching.**  With a ``cache_dir``, each
+  :class:`~repro.core.benchmarking.MatrixMeasurement` is stored as JSON keyed
+  by a hash of (matrix recipe, kernel set, device, code version), and each
+  whole :class:`~repro.bench.runner.SweepResult` is pickled keyed by a hash
+  of the full sweep configuration.  A second run of any experiment driver —
+  or of a different driver sharing the same configuration — is served from
+  disk without re-benchmarking.  The code-version component of every key is a
+  digest of the package sources, so editing the simulator or kernels
+  invalidates stale artifacts automatically.
+
+Cache layout::
+
+    <cache_dir>/
+      sweeps/<config-hash>.pkl        # whole SweepResult artifacts
+      sweeps/<config-hash>.json       # human-readable config for debugging
+      measurements/<matrix-hash>.json # per-matrix MatrixMeasurement records
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core.benchmarking import BenchmarkSuite, MatrixMeasurement, measure_matrix
+from repro.core.dataset import DEFAULT_ITERATION_COUNTS
+from repro.core.training import TrainingConfig
+from repro.gpu.device import MI100, DeviceSpec
+from repro.kernels.feature_kernels import FeatureCollector
+from repro.kernels.registry import kernel_names as registry_kernel_names
+from repro.kernels.registry import make_kernel
+from repro.sparse.collection import CollectionProfile, MatrixSpec, collection_specs
+from repro.sparse.features import GatheredFeatures, KnownFeatures
+
+#: Bumped whenever the on-disk layout of cached artifacts changes.
+CACHE_FORMAT_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the package sources, part of every cache key.
+
+    Any edit to the simulator, the kernels, the generators or the training
+    code changes this digest and therefore invalidates previously cached
+    measurements and sweeps — the cache can never serve artifacts produced
+    by different code.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(path.relative_to(package_root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def _stable_hash(payload: dict) -> str:
+    """Deterministic short hash of a JSON-serializable payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+def _spec_payload(spec: MatrixSpec) -> dict:
+    return {
+        "name": spec.name,
+        "family": spec.family,
+        "builder": spec.builder,
+        "params": [list(item) for item in spec.params],
+        "seed": spec.seed,
+    }
+
+
+def measurement_key(spec: MatrixSpec, kernel_labels, device: DeviceSpec) -> str:
+    """Cache key of one matrix measurement."""
+    return _stable_hash(
+        {
+            "format": CACHE_FORMAT_VERSION,
+            "code": code_version(),
+            "spec": _spec_payload(spec),
+            "kernels": list(kernel_labels),
+            "device": asdict(device),
+        }
+    )
+
+
+def _profile_payload(profile) -> dict:
+    """Hashable description of a profile (name or CollectionProfile).
+
+    The full size/variant/family grid is hashed — not just the name — so a
+    custom :class:`~repro.sparse.collection.CollectionProfile` never collides
+    with a built-in one sharing its name.
+    """
+    if isinstance(profile, str):
+        profile = CollectionProfile.from_name(profile)
+    return asdict(profile)
+
+
+def sweep_config_key(
+    profile,
+    seed: int,
+    split_seed: int,
+    iteration_counts,
+    device: DeviceSpec,
+    kernel_labels,
+    config: TrainingConfig = None,
+) -> str:
+    """Cache key of a whole sweep configuration.
+
+    ``profile`` may be a name or a ``CollectionProfile``.  ``config=None``
+    hashes identically to an explicit default
+    :class:`~repro.core.training.TrainingConfig` — they produce the same
+    sweep.
+    """
+    return _stable_hash(
+        {
+            "format": CACHE_FORMAT_VERSION,
+            "code": code_version(),
+            "profile": _profile_payload(profile),
+            "seed": seed,
+            "split_seed": split_seed,
+            "iteration_counts": list(iteration_counts),
+            "device": asdict(device),
+            "kernels": list(kernel_labels),
+            "training": asdict(config or TrainingConfig()),
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# MatrixMeasurement <-> JSON
+# ----------------------------------------------------------------------
+def measurement_to_dict(measurement: MatrixMeasurement) -> dict:
+    """JSON-serializable form of one measurement (infinities allowed)."""
+    return {
+        "name": measurement.name,
+        "known": asdict(measurement.known),
+        "gathered": asdict(measurement.gathered),
+        "kernel_runtime_ms": dict(measurement.kernel_runtime_ms),
+        "kernel_preprocessing_ms": dict(measurement.kernel_preprocessing_ms),
+    }
+
+
+def measurement_from_dict(payload: dict) -> MatrixMeasurement:
+    """Inverse of :func:`measurement_to_dict`."""
+    return MatrixMeasurement(
+        name=payload["name"],
+        known=KnownFeatures(**payload["known"]),
+        gathered=GatheredFeatures(**payload["gathered"]),
+        kernel_runtime_ms=dict(payload["kernel_runtime_ms"]),
+        kernel_preprocessing_ms=dict(payload["kernel_preprocessing_ms"]),
+    )
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` without ever exposing a partial file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _measure_spec_chunk(specs, kernel_labels, device: DeviceSpec) -> list:
+    """Worker entry point: benchmark a chunk of matrix recipes.
+
+    Runs in a worker process (must stay a module-level function so it can be
+    pickled).  Kernels and the feature collector are rebuilt per chunk; the
+    simulated timings are deterministic, so where a measurement is computed
+    does not change its value.
+    """
+    kernels = [make_kernel(label, device) for label in kernel_labels]
+    collector = FeatureCollector(device)
+    return [
+        measure_matrix(spec.name, spec.build(), kernels, collector)
+        for spec in specs
+    ]
+
+
+@dataclass
+class EngineStats:
+    """Counters describing what an engine actually did."""
+
+    matrices_measured: int = 0
+    measurement_cache_hits: int = 0
+    sweep_cache_hits: int = 0
+    sweep_cache_misses: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class SweepEngine:
+    """Parallel, cached executor for benchmark sweeps.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the benchmarking stage.  ``1`` (the default)
+        runs serially in-process; ``0`` means one worker per CPU.
+    cache_dir:
+        Directory for persistent artifacts.  ``None`` disables disk caching
+        (the engine still parallelizes).
+    chunks_per_job:
+        Work chunks created per worker; larger values smooth out load
+        imbalance between cheap and expensive matrices at the cost of more
+        inter-process traffic.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir=None, chunks_per_job: int = 4):
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
+        self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.chunks_per_job = max(1, chunks_per_job)
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _measurement_path(self, key: str) -> Path:
+        return self.cache_dir / "measurements" / f"{key}.json"
+
+    def _sweep_path(self, key: str) -> Path:
+        return self.cache_dir / "sweeps" / f"{key}.pkl"
+
+    def _load_measurement(self, key: str):
+        if self.cache_dir is None:
+            return None
+        path = self._measurement_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return measurement_from_dict(payload)
+
+    def _store_measurement(self, key: str, measurement: MatrixMeasurement) -> None:
+        if self.cache_dir is None:
+            return
+        data = json.dumps(measurement_to_dict(measurement)).encode()
+        _atomic_write_bytes(self._measurement_path(key), data)
+
+    def _load_sweep(self, key: str):
+        if self.cache_dir is None:
+            return None
+        path = self._sweep_path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, AttributeError, EOFError):
+            return None
+
+    def _store_sweep(self, key: str, result, describe: dict) -> None:
+        if self.cache_dir is None:
+            return
+        _atomic_write_bytes(self._sweep_path(key), pickle.dumps(result))
+        meta = json.dumps(describe, sort_keys=True, indent=2).encode()
+        _atomic_write_bytes(self._sweep_path(key).with_suffix(".json"), meta)
+
+    # ------------------------------------------------------------------
+    # Benchmarking stage
+    # ------------------------------------------------------------------
+    def measure_specs(self, specs, kernel_labels, device: DeviceSpec = MI100) -> list:
+        """Benchmark matrix recipes, in order, using cache and workers.
+
+        Returns one :class:`~repro.core.benchmarking.MatrixMeasurement` per
+        spec, in the order the specs were given — identical to what the
+        serial loop in :func:`repro.core.benchmarking.run_benchmark_suite`
+        produces for the same recipes.
+        """
+        specs = list(specs)
+        kernel_labels = tuple(kernel_labels)
+        keys = [measurement_key(spec, kernel_labels, device) for spec in specs]
+        results = [None] * len(specs)
+        pending = []
+        for index, key in enumerate(keys):
+            cached = self._load_measurement(key)
+            if cached is not None:
+                results[index] = cached
+                self.stats.measurement_cache_hits += 1
+            else:
+                pending.append(index)
+
+        if pending:
+            pending_specs = [specs[index] for index in pending]
+            measured = self._run_pending(pending_specs, kernel_labels, device)
+            for index, measurement in zip(pending, measured):
+                results[index] = measurement
+                self._store_measurement(keys[index], measurement)
+            self.stats.matrices_measured += len(pending)
+        return results
+
+    def _run_pending(self, specs, kernel_labels, device: DeviceSpec) -> list:
+        """Benchmark uncached specs, parallel when the engine has workers."""
+        if self.jobs == 1 or len(specs) <= 1:
+            return _measure_spec_chunk(specs, kernel_labels, device)
+        chunk_size = max(1, -(-len(specs) // (self.jobs * self.chunks_per_job)))
+        chunks = [
+            specs[start : start + chunk_size]
+            for start in range(0, len(specs), chunk_size)
+        ]
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks))) as pool:
+            futures = [
+                pool.submit(_measure_spec_chunk, chunk, kernel_labels, device)
+                for chunk in chunks
+            ]
+            measurements = []
+            for future in futures:  # submission order == spec order
+                measurements.extend(future.result())
+        return measurements
+
+    def run_benchmark_suite(
+        self,
+        profile: str = "small",
+        seed: int = 7,
+        device: DeviceSpec = MI100,
+        include_rocsparse: bool = True,
+    ) -> BenchmarkSuite:
+        """Benchmarking + feature collection for a named profile."""
+        kernel_labels = registry_kernel_names(include_rocsparse)
+        specs = collection_specs(profile, base_seed=seed)
+        measurements = self.measure_specs(specs, kernel_labels, device)
+        return BenchmarkSuite(
+            kernel_names=list(kernel_labels),
+            measurements=measurements,
+            device_name=device.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-sweep stage
+    # ------------------------------------------------------------------
+    def run_sweep(
+        self,
+        profile: str = "small",
+        iteration_counts=DEFAULT_ITERATION_COUNTS,
+        device: DeviceSpec = MI100,
+        seed: int = 7,
+        split_seed: int = 13,
+        config: TrainingConfig = None,
+        include_rocsparse: bool = True,
+    ):
+        """Run (or reload) the full pipeline for one configuration.
+
+        Semantics match :func:`repro.bench.runner.run_sweep` exactly; the
+        only differences are where the benchmarking happens (worker
+        processes) and whether it happens at all (cache hit).
+        """
+        from repro.bench.runner import assemble_sweep
+
+        kernel_labels = registry_kernel_names(include_rocsparse)
+        key = sweep_config_key(
+            profile, seed, split_seed, iteration_counts, device, kernel_labels, config
+        )
+        cached = self._load_sweep(key)
+        if cached is not None:
+            self.stats.sweep_cache_hits += 1
+            return cached
+        self.stats.sweep_cache_misses += 1
+
+        suite = self.run_benchmark_suite(
+            profile=profile,
+            seed=seed,
+            device=device,
+            include_rocsparse=include_rocsparse,
+        )
+        result = assemble_sweep(
+            suite,
+            iteration_counts=iteration_counts,
+            device=device,
+            split_seed=split_seed,
+            config=config,
+        )
+        self._store_sweep(
+            key,
+            result,
+            describe={
+                "profile": _profile_payload(profile),
+                "seed": seed,
+                "split_seed": split_seed,
+                "iteration_counts": list(iteration_counts),
+                "device": device.name,
+                "kernels": list(kernel_labels),
+                "training": asdict(config or TrainingConfig()),
+                "code": code_version(),
+                "format": CACHE_FORMAT_VERSION,
+            },
+        )
+        return result
+
+
+def jobs_from_env(environ=None):
+    """Validated ``SEER_JOBS`` value, or ``None`` when unset/empty."""
+    environ = os.environ if environ is None else environ
+    raw = environ.get("SEER_JOBS")
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"SEER_JOBS must be an integer >= 0 (0 means one worker per "
+            f"CPU), got {raw!r}"
+        ) from None
+    if jobs < 0:
+        raise ValueError(f"SEER_JOBS must be >= 0, got {jobs}")
+    return jobs
+
+
+def engine_from_env(environ=None, jobs=None, cache_dir=None):
+    """Build the engine described by ``SEER_JOBS``/``SEER_CACHE_DIR``.
+
+    ``jobs``/``cache_dir`` override the corresponding environment variable
+    (each independently), so callers with explicit settings — e.g. CLI
+    flags — can merge them with the environment.  Returns ``None`` when the
+    result would be the plain serial, cacheless configuration.
+    """
+    environ = os.environ if environ is None else environ
+    if jobs is None:
+        jobs = jobs_from_env(environ)
+    if cache_dir is None:
+        cache_dir = environ.get("SEER_CACHE_DIR") or None
+    if (jobs is None or jobs == 1) and cache_dir is None:
+        return None
+    return SweepEngine(jobs=1 if jobs is None else jobs, cache_dir=cache_dir)

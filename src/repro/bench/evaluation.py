@@ -19,8 +19,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.bench.oracle import OraclePredictor
 from repro.core.dataset import TrainingDataset, TrainingSample
 from repro.core.inference import TREE_EVALUATION_MS, SeerPredictor

@@ -5,6 +5,12 @@ benchmarking, feature collection, training-set assembly, the 80/20 split,
 model training and evaluation — and returns everything the experiment
 drivers need.  All experiment modules share one sweep per configuration so
 the expensive benchmarking work is done once.
+
+The benchmarking stage can optionally be delegated to a
+:class:`repro.bench.engine.SweepEngine`, which fans the per-matrix work out
+over worker processes and caches artifacts on disk; the serial in-process
+path below remains the reference implementation the engine must match
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -48,44 +54,20 @@ class SweepResult:
         return list(self.suite.kernel_names)
 
 
-def run_sweep(
-    profile: str = "small",
+def assemble_sweep(
+    suite: BenchmarkSuite,
     iteration_counts=DEFAULT_ITERATION_COUNTS,
     device=MI100,
-    seed: int = 7,
     split_seed: int = 13,
     config: TrainingConfig = None,
-    include_rocsparse: bool = True,
-    collection=None,
 ) -> SweepResult:
-    """Run the full pipeline and return models plus evaluation reports.
+    """Turn a benchmark suite into a full :class:`SweepResult`.
 
-    Parameters
-    ----------
-    profile:
-        Synthetic-collection profile (``tiny``/``small``/``medium``/``full``);
-        ignored when ``collection`` is given.
-    iteration_counts:
-        Iteration counts the training corpus covers.
-    device:
-        Simulated device.
-    seed:
-        Seed of the synthetic collection.
-    split_seed:
-        Seed of the 80/20 train-test split.
-    config:
-        Tree-depth configuration.
-    include_rocsparse:
-        Whether the vendor adaptive kernel joins the kernel set.
-    collection:
-        Pre-built collection (any iterable of records), overriding
-        ``profile``/``seed``.
+    This is the deterministic back half of the pipeline — dataset assembly,
+    the stratified 80/20 split, model training and evaluation — shared by the
+    serial :func:`run_sweep` path and the parallel/cached
+    :class:`~repro.bench.engine.SweepEngine` path.
     """
-    if collection is None:
-        # Matrices are generated lazily so only one lives in memory at a time.
-        collection = iter_collection(profile, base_seed=seed)
-    kernels = default_kernels(device, include_rocsparse=include_rocsparse)
-    suite = run_benchmark_suite(collection, kernels=kernels, device=device)
     dataset = build_training_dataset(suite, iteration_counts)
 
     labels = dataset.labels()
@@ -108,4 +90,73 @@ def run_sweep(
         predictor=predictor,
         train_report=train_report,
         test_report=test_report,
+    )
+
+
+def run_sweep(
+    profile: str = "small",
+    iteration_counts=DEFAULT_ITERATION_COUNTS,
+    device=MI100,
+    seed: int = 7,
+    split_seed: int = 13,
+    config: TrainingConfig = None,
+    include_rocsparse: bool = True,
+    collection=None,
+    engine=None,
+) -> SweepResult:
+    """Run the full pipeline and return models plus evaluation reports.
+
+    Parameters
+    ----------
+    profile:
+        Synthetic-collection profile (``tiny``/``small``/``medium``/``full``/
+        ``wide``/``banded``); ignored when ``collection`` is given.
+    iteration_counts:
+        Iteration counts the training corpus covers.
+    device:
+        Simulated device.
+    seed:
+        Seed of the synthetic collection.
+    split_seed:
+        Seed of the 80/20 train-test split.
+    config:
+        Tree-depth configuration.
+    include_rocsparse:
+        Whether the vendor adaptive kernel joins the kernel set.
+    collection:
+        Pre-built collection (any iterable of records), overriding
+        ``profile``/``seed``.
+    engine:
+        Optional :class:`repro.bench.engine.SweepEngine` that parallelizes
+        the benchmarking stage and serves repeated configurations from its
+        on-disk cache.  Requires a named ``profile`` (the cache key is built
+        from the collection recipe, which a pre-built ``collection`` does not
+        carry).
+    """
+    if engine is not None:
+        if collection is not None:
+            raise ValueError(
+                "engine-backed sweeps need a named profile; a pre-built "
+                "collection has no recipe to key the cache by"
+            )
+        return engine.run_sweep(
+            profile=profile,
+            iteration_counts=iteration_counts,
+            device=device,
+            seed=seed,
+            split_seed=split_seed,
+            config=config,
+            include_rocsparse=include_rocsparse,
+        )
+    if collection is None:
+        # Matrices are generated lazily so only one lives in memory at a time.
+        collection = iter_collection(profile, base_seed=seed)
+    kernels = default_kernels(device, include_rocsparse=include_rocsparse)
+    suite = run_benchmark_suite(collection, kernels=kernels, device=device)
+    return assemble_sweep(
+        suite,
+        iteration_counts=iteration_counts,
+        device=device,
+        split_seed=split_seed,
+        config=config,
     )

@@ -1,18 +1,24 @@
 """Command-line interface for the Seer reproduction.
 
-``seer-repro`` (or ``python -m repro``) exposes the pipeline stages and the
-per-figure experiment drivers:
+``repro`` (also installed as ``seer-repro``, or ``python -m repro``) exposes
+the pipeline stages and the per-figure experiment drivers:
 
 .. code-block:: console
 
-   seer-repro sweep --profile small --output-dir out/   # benchmark + train
-   seer-repro fig1                                        # Fig. 1 series
-   seer-repro fig5 --profile full                         # Fig. 5 a-d
-   seer-repro fig6                                        # Fig. 6 series
-   seer-repro fig7                                        # Fig. 7 panels
-   seer-repro table1                                      # Table I
-   seer-repro table3                                      # Table III
-   seer-repro accuracy                                    # Section IV-C numbers
+   repro sweep --profile small --output-dir out/   # benchmark + train
+   repro sweep --profile medium --jobs 8 --cache-dir ~/.cache/seer
+   repro fig1                                      # Fig. 1 series
+   repro fig5 --profile full                       # Fig. 5 a-d
+   repro fig6                                      # Fig. 6 series
+   repro fig7                                      # Fig. 7 panels
+   repro table1                                    # Table I
+   repro table3                                    # Table III
+   repro accuracy                                  # Section IV-C numbers
+
+``--jobs`` fans the benchmarking stage out over worker processes and
+``--cache-dir`` persists per-matrix measurements and whole sweep artifacts,
+so repeated invocations (and different experiment drivers sharing one
+configuration) skip the benchmarking work entirely.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.bench.engine import SweepEngine, engine_from_env
 from repro.bench.runner import run_sweep
 from repro.core.codegen import write_cpp_header, write_python_module
 from repro.experiments import (
@@ -32,26 +39,79 @@ from repro.experiments import (
     run_table1,
     run_table3,
 )
+from repro.experiments import common as experiments_common
 from repro.experiments.common import DEFAULT_PROFILE
+from repro.sparse.collection import PROFILE_NAMES
 
 
 def _add_profile(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
         default=DEFAULT_PROFILE,
-        choices=["tiny", "small", "medium", "full"],
+        choices=list(PROFILE_NAMES),
         help="synthetic collection profile to benchmark on",
     )
 
 
+def _jobs_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 means one per CPU)")
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=None,
+        metavar="N",
+        help="worker processes for the benchmarking stage "
+        "(1 = serial, 0 = one per CPU; default: SEER_JOBS or serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for persistent sweep/measurement artifacts "
+        "(default: SEER_CACHE_DIR or no disk caching)",
+    )
+
+
+def _resolve_engine(args) -> SweepEngine:
+    """Engine described by ``--jobs``/``--cache-dir``, or ``None`` for serial.
+
+    Each explicit flag overrides its ``SEER_JOBS``/``SEER_CACHE_DIR``
+    environment variable independently (so ``--jobs 1`` forces the serial
+    benchmarking stage even with ``SEER_JOBS`` exported); with neither flags
+    nor environment, the serial reference path runs.
+    """
+    try:
+        return engine_from_env(jobs=args.jobs, cache_dir=args.cache_dir)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+
+
 def _cmd_sweep(args) -> int:
-    sweep = run_sweep(profile=args.profile)
+    engine = _resolve_engine(args)
+    sweep = run_sweep(profile=args.profile, engine=engine)
     report = sweep.test_report
     print(f"benchmarked {len(sweep.suite)} matrices, {len(sweep.dataset)} samples")
     print(f"known/gathered accuracy: {report.accuracy('Known'):.2f} / "
           f"{report.accuracy('Gathered'):.2f}")
     print(f"selector routing accuracy: {report.selector_choice_accuracy():.2f}")
     print(f"selector slowdown vs Oracle: {report.slowdown_vs_oracle():.2f}x")
+    if engine is not None:
+        stats = engine.stats
+        if engine.cache_dir is None:
+            cache_state = "off"
+        else:
+            cache_state = "hit" if stats.sweep_cache_hits else "miss"
+        print(
+            f"engine: jobs={engine.jobs} measured={stats.matrices_measured} "
+            f"measurement-cache-hits={stats.measurement_cache_hits} "
+            f"sweep-cache={cache_state}"
+        )
     if args.output_dir:
         output = Path(args.output_dir)
         sweep.suite.save(output)
@@ -63,6 +123,7 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_experiment(runner, needs_profile=True):
     def command(args) -> int:
+        experiments_common.set_default_engine(_resolve_engine(args))
         if needs_profile:
             result = runner(profile=args.profile)
         else:
@@ -76,13 +137,14 @@ def _cmd_experiment(runner, needs_profile=True):
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
-        prog="seer-repro",
+        prog="repro",
         description="Seer (CGO 2024) reproduction: benchmarking, training and experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sweep = sub.add_parser("sweep", help="run the full pipeline and optionally export CSVs")
     _add_profile(sweep)
+    _add_engine_options(sweep)
     sweep.add_argument("--output-dir", default=None, help="directory for CSVs and generated headers")
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -99,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser = sub.add_parser(name, help=help_text)
         if needs_profile:
             _add_profile(sub_parser)
+        _add_engine_options(sub_parser)
         sub_parser.set_defaults(func=_cmd_experiment(runner, needs_profile))
     return parser
 

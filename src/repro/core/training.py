@@ -19,7 +19,7 @@ predictor skip feature collection whenever a misprediction would be cheap.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -35,29 +35,71 @@ _PROFILE_SIZES = {
     "small": (1024, 4096, 16384),
     "medium": (4096, 16384, 65536, 262144),
     "full": (4096, 16384, 65536, 262144, 1048576),
+    "wide": (1024, 4096, 16384),
+    "banded": (1024, 4096, 16384),
 }
 
 #: Number of seeds (variants) generated per (family, size) combination.
-_PROFILE_VARIANTS = {"tiny": 1, "small": 2, "medium": 3, "full": 3}
+_PROFILE_VARIANTS = {
+    "tiny": 1,
+    "small": 2,
+    "medium": 3,
+    "full": 3,
+    "wide": 2,
+    "banded": 2,
+}
+
+#: The family mix of the original size-graded profiles.
+_CLASSIC_FAMILIES = (
+    "regular",
+    "banded",
+    "power_law",
+    "heavy_tail",
+    "skewed",
+    "uniform",
+    "block",
+    "variable_block",
+    "empty_heavy",
+    "diagonal",
+    "road_network",
+)
+
+#: Family mixes of the scenario-focused profiles.  ``wide`` concentrates on
+#: heavy-tailed / hub-dominated structure (web and social graphs, including
+#: rectangular hub matrices much wider than tall); ``banded`` concentrates on
+#: stencil and near-regular mesh structure where padded and thread-mapped
+#: schedules fight it out.
+_PROFILE_FAMILIES = {
+    "wide": ("power_law", "heavy_tail", "skewed", "uniform", "road_network", "wide_hub"),
+    "banded": ("banded", "regular", "stencil", "block", "variable_block", "diagonal"),
+}
+
+#: Every profile name accepted by :func:`CollectionProfile.from_name`,
+#: in declaration order (useful for CLI choices).
+PROFILE_NAMES = tuple(_PROFILE_SIZES)
 
 
 @dataclass(frozen=True)
 class CollectionProfile:
-    """Size/variant configuration of a synthetic collection."""
+    """Size/variant/family configuration of a synthetic collection."""
 
     name: str
     sizes: tuple
     variants: int
+    families: tuple = _CLASSIC_FAMILIES
 
     @classmethod
     def from_name(cls, name: str) -> "CollectionProfile":
-        """Look up one of the built-in profiles (tiny/small/medium/full)."""
+        """Look up one of the built-in profiles (see :data:`PROFILE_NAMES`)."""
         if name not in _PROFILE_SIZES:
             raise ValueError(
                 f"unknown profile {name!r}; expected one of {sorted(_PROFILE_SIZES)}"
             )
         return cls(
-            name=name, sizes=_PROFILE_SIZES[name], variants=_PROFILE_VARIANTS[name]
+            name=name,
+            sizes=_PROFILE_SIZES[name],
+            variants=_PROFILE_VARIANTS[name],
+            families=_PROFILE_FAMILIES.get(name, _CLASSIC_FAMILIES),
         )
 
 
@@ -167,6 +209,17 @@ def _family_specs(size: int, variant: int, seed: int) -> list:
         # same grid point — exactly as the row-count outliers of SuiteSparse
         # (osm/circuit matrices) relate to the rest of the collection.
         ("road_network", "road_network_matrix", (("num_rows", 4 * size),)),
+        # Rectangular hub matrix, four times wider than tall, with an
+        # aggressive tail: the hub rows of web graphs whose adjacency lists
+        # reference a much larger universe of columns.
+        ("wide_hub", "power_law_matrix",
+         (("num_rows", size), ("num_cols", 4 * size),
+          ("avg_row_length", float(base_degree)), ("exponent", 1.6 + 0.1 * variant),
+          ("max_row_length", 2 * size))),
+        # Finite-difference stencils on a 2D grid: perfectly banded away from
+        # the boundary, ELL-friendly, the classic mesh workload.
+        ("stencil", "stencil_matrix",
+         (("num_rows", size), ("points", 5 if variant % 2 else 9))),
     ]
     out = []
     for family, builder, params in specs:
@@ -186,11 +239,16 @@ def collection_specs(profile="small", base_seed: int = 7) -> list:
     """Enumerate the :class:`MatrixSpec` recipes for a profile."""
     if isinstance(profile, str):
         profile = CollectionProfile.from_name(profile)
+    wanted = set(profile.families)
     specs = []
     seed = base_seed
     for size in profile.sizes:
         for variant in range(profile.variants):
-            specs.extend(_family_specs(size, variant, seed))
+            specs.extend(
+                spec
+                for spec in _family_specs(size, variant, seed)
+                if spec.family in wanted
+            )
             seed += 1
     return specs
 

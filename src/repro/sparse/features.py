@@ -117,10 +117,26 @@ def gathered_features(matrix: CSRMatrix) -> GatheredFeatures:
     if matrix.num_rows == 0 or matrix.num_cols == 0:
         return GatheredFeatures(0.0, 0.0, 0.0, 0.0)
     densities = matrix.row_lengths().astype(np.float64) / float(matrix.num_cols)
+    max_density = float(densities.max())
+    min_density = float(densities.min())
+    if min_density == max_density:
+        # All rows are identical: floating-point summation would otherwise
+        # put the mean a ULP off the common value and the variance a hair
+        # above zero, breaking the exact min <= mean <= max / var == 0
+        # invariants downstream consumers rely on.
+        return GatheredFeatures(
+            max_row_density=max_density,
+            min_row_density=min_density,
+            mean_row_density=max_density,
+            var_row_density=0.0,
+        )
+    # Summation error can still push the mean past the extremes; clamp so
+    # the invariant min <= mean <= max holds exactly.
+    mean_density = min(max(float(densities.mean()), min_density), max_density)
     return GatheredFeatures(
-        max_row_density=float(densities.max()),
-        min_row_density=float(densities.min()),
-        mean_row_density=float(densities.mean()),
+        max_row_density=max_density,
+        min_row_density=min_density,
+        mean_row_density=mean_density,
         var_row_density=float(densities.var()),
     )
 

@@ -249,6 +249,57 @@ def variable_block_matrix(
     )
 
 
+def stencil_matrix(num_rows: int, points: int = 9, rng=0) -> CSRMatrix:
+    """Finite-difference stencil on a square 2D grid (banded, near-uniform).
+
+    ``points`` selects the classic 5-point (von Neumann) or 9-point (Moore)
+    neighbourhood.  Rows in the grid interior all have exactly ``points``
+    nonzeros; boundary rows are slightly shorter — the mild irregularity real
+    mesh matrices show at domain edges.
+    """
+    if points not in (5, 9):
+        raise ValueError("points must be 5 or 9")
+    rng = _as_rng(rng)
+    width = max(int(round(num_rows**0.5)), 3)
+    if points == 5:
+        neighbourhood = [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)]
+    else:
+        neighbourhood = [
+            (dr, dc) for dr in (-1, 0, 1) for dc in (-1, 0, 1)
+        ]
+    # Unflatten each row index into 2D grid coordinates so the
+    # neighbourhood never wraps around a grid-row boundary: a left-edge
+    # point has no left neighbour rather than coupling to the previous
+    # grid row's right edge.
+    rows = np.arange(num_rows, dtype=np.int64)
+    grid_c = rows % width
+    # Sort by flattened offset so columns come out ascending within a row.
+    neighbourhood.sort(key=lambda pair: pair[0] * width + pair[1])
+    offsets = np.array(
+        [dr * width + dc for dr, dc in neighbourhood], dtype=np.int64
+    )
+    delta_c = np.array([dc for _, dc in neighbourhood], dtype=np.int64)
+    cols = rows[:, None] + offsets[None, :]
+    neighbour_c = grid_c[:, None] + delta_c[None, :]
+    valid = (
+        (cols >= 0)
+        & (cols < num_rows)
+        & (neighbour_c >= 0)
+        & (neighbour_c < width)
+    )
+    row_lengths = valid.sum(axis=1).astype(np.int64)
+    row_offsets = np.zeros(num_rows + 1, dtype=np.int64)
+    row_offsets[1:] = np.cumsum(row_lengths)
+    col_indices = cols[valid]
+    return CSRMatrix(
+        num_rows=num_rows,
+        num_cols=num_rows,
+        row_offsets=row_offsets,
+        col_indices=col_indices,
+        values=rng.uniform(0.5, 1.5, size=int(row_offsets[-1])),
+    )
+
+
 def empty_row_heavy_matrix(
     num_rows: int,
     num_cols: int,

@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.dataset import build_training_dataset
-from repro.core.inference import SeerPredictor
 from repro.core.training import (
     USE_GATHERED,
     USE_KNOWN,

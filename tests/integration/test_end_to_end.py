@@ -8,7 +8,6 @@ compose and the dynamics point the right way.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench.evaluation import evaluate_dataset
 from repro.core.training import USE_GATHERED, USE_KNOWN

@@ -91,3 +91,48 @@ def test_archetype_structures_match_their_stories():
     assert uniform.row_lengths().var() == pytest.approx(0.0)
     skewed = archetype("matrix_new_3_like", scale=256).matrix
     assert skewed.row_lengths().max() > 10 * skewed.row_lengths().mean()
+
+
+def test_classic_profiles_exclude_scenario_families():
+    for profile in ("tiny", "small", "medium", "full"):
+        families = {spec.family for spec in collection_specs(profile)}
+        assert "wide_hub" not in families
+        assert "stencil" not in families
+
+
+def test_wide_profile_is_power_law_heavy():
+    profile = CollectionProfile.from_name("wide")
+    specs = collection_specs("wide")
+    assert {spec.family for spec in specs} == set(profile.families)
+    assert "wide_hub" in profile.families
+    assert "banded" not in profile.families
+    # every (size, variant) point yields one spec per family
+    assert len(specs) == len(profile.sizes) * profile.variants * len(profile.families)
+
+
+def test_banded_profile_is_stencil_heavy():
+    profile = CollectionProfile.from_name("banded")
+    specs = collection_specs("banded")
+    assert "stencil" in profile.families
+    assert "power_law" not in profile.families
+    names = [spec.name for spec in specs]
+    assert len(names) == len(set(names))
+
+
+def test_wide_hub_matrices_are_wider_than_tall():
+    spec = next(
+        spec for spec in collection_specs("wide") if spec.family == "wide_hub"
+    )
+    matrix = spec.build()
+    assert matrix.num_cols == 4 * matrix.num_rows
+
+
+def test_scenario_profiles_build_and_stay_reproducible():
+    for profile in ("wide", "banded"):
+        specs = [s for s in collection_specs(profile) if s.params[0][1] <= 1024]
+        assert specs, "expected small grid points in the profile"
+        for spec in specs:
+            first = spec.build()
+            second = spec.build()
+            assert first.nnz > 0
+            np.testing.assert_array_equal(first.col_indices, second.col_indices)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sparse.coo import COOMatrix, SparseFormatError
+from repro.sparse.coo import SparseFormatError
 from repro.sparse.csr import CSRMatrix
 
 

@@ -106,3 +106,52 @@ def test_columns_unique_within_rows(small_matrices):
         for row in range(matrix.num_rows):
             cols, _ = matrix.row_slice(row)
             assert len(set(cols.tolist())) == len(cols), f"family {name}, row {row}"
+
+
+def test_stencil_matrix_interior_rows_have_full_neighbourhood():
+    width = 32  # round(sqrt(1024))
+    centre = (width // 2) * width + width // 2
+    for points in (5, 9):
+        matrix = gen.stencil_matrix(1024, points=points, rng=11)
+        assert matrix.shape == (1024, 1024)
+        lengths = matrix.row_lengths()
+        assert lengths[centre] == points
+        assert lengths.max() == points
+        # boundary rows lose the neighbours that fall off the grid
+        assert lengths[0] < points
+        # a left-edge point has no left neighbour: the neighbourhood must
+        # not wrap around to the previous grid row's right edge
+        left_edge = (width // 2) * width
+        assert lengths[left_edge] < points
+
+
+def test_stencil_matrix_neighbours_stay_within_the_grid_neighbourhood():
+    width = 32
+    matrix = gen.stencil_matrix(1024, points=9, rng=14)
+    for row in (0, 31, 32, 495, 496, 527, 1023):
+        start, stop = matrix.row_offsets[row], matrix.row_offsets[row + 1]
+        for col in matrix.col_indices[start:stop]:
+            assert abs(col // width - row // width) <= 1
+            assert abs(col % width - row % width) <= 1
+
+
+def test_stencil_matrix_columns_sorted_and_unique_per_row():
+    matrix = gen.stencil_matrix(400, points=9, rng=12)
+    for row in range(matrix.num_rows):
+        start, stop = matrix.row_offsets[row], matrix.row_offsets[row + 1]
+        cols = matrix.col_indices[start:stop]
+        assert np.all(np.diff(cols) > 0)
+
+
+def test_stencil_matrix_rejects_unknown_neighbourhood():
+    with pytest.raises(ValueError):
+        gen.stencil_matrix(100, points=7)
+
+
+def test_stencil_matrix_tiny_grid_stays_valid():
+    matrix = gen.stencil_matrix(4, points=9, rng=13)
+    for row in range(matrix.num_rows):
+        start, stop = matrix.row_offsets[row], matrix.row_offsets[row + 1]
+        cols = matrix.col_indices[start:stop]
+        assert np.all(np.diff(cols) > 0)
+        assert np.all((cols >= 0) & (cols < 4))

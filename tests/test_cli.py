@@ -46,3 +46,38 @@ def test_cli_sweep_exports_artifacts(tmp_path, capsys):
 def test_cli_fig1_on_tiny_profile(capsys):
     assert main(["fig1", "--profile", "tiny"]) == 0
     assert "fastest kernel per matrix" in capsys.readouterr().out
+
+
+def test_parser_accepts_engine_options():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["sweep", "--profile", "tiny", "--jobs", "4", "--cache-dir", "/tmp/c"]
+    )
+    assert args.jobs == 4
+    assert args.cache_dir == "/tmp/c"
+    defaults = parser.parse_args(["sweep"])
+    assert defaults.jobs is None
+    assert defaults.cache_dir is None
+
+
+def test_parser_accepts_scenario_profiles():
+    parser = build_parser()
+    for profile in ("wide", "banded"):
+        args = parser.parse_args(["sweep", "--profile", profile])
+        assert args.profile == profile
+
+
+def test_experiment_commands_accept_engine_options():
+    parser = build_parser()
+    args = parser.parse_args(["fig1", "--profile", "tiny", "--jobs", "2"])
+    assert args.jobs == 2
+
+
+def test_cli_sweep_uses_cache_between_runs(tmp_path, capsys):
+    argv = ["sweep", "--profile", "tiny", "--jobs", "2", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "sweep-cache=miss" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "sweep-cache=hit" in warm
