@@ -1,0 +1,50 @@
+"""Benchmarks of the domain plugin layer.
+
+The domain API routes every kernel instantiation, feature extraction and
+collector construction through a registry indirection; these benchmarks pin
+the cost of that indirection so a regression in the dispatch path (e.g. an
+accidentally quadratic lookup or an import inside a hot loop) is caught by
+the regression guard alongside the paper numbers.
+"""
+
+from benchmarks.conftest import record
+from repro.domains import get_domain
+from repro.sparse.generators import power_law_matrix
+
+#: Dispatch operations per benchmark round, enough to amortize timer noise.
+DISPATCH_ROUNDS = 200
+
+
+def test_bench_domain_dispatch_overhead(benchmark):
+    """Registry lookup + kernel instantiation + known-feature extraction."""
+    matrix = power_law_matrix(10_000, 10_000, 8.0, rng=4)
+
+    def dispatch():
+        domain = get_domain("spmv")
+        known = None
+        for label in domain.kernel_names():
+            kernel = domain.make_kernel(label)
+            known = domain.known_features(matrix, iterations=4)
+        return kernel, known
+
+    kernel, known = benchmark(
+        lambda: [dispatch() for _ in range(DISPATCH_ROUNDS)][-1]
+    )
+    record(
+        benchmark,
+        dispatch_rounds=DISPATCH_ROUNDS,
+        kernels_per_round=len(get_domain("spmv").kernel_names()),
+        resolved_kernel=kernel.name,
+        known_rows=int(known.as_vector()[0]),
+    )
+
+
+def test_bench_spmm_feature_collection(benchmark):
+    """Simulated column-block occupancy collection on a 1M-nnz workload."""
+    from repro.domains.spmm import SpmmWorkload
+
+    matrix = power_law_matrix(200_000, 200_000, 10.0, rng=5)
+    workload = SpmmWorkload(matrix=matrix, num_vectors=32)
+    collector = get_domain("spmm").make_collector()
+    result = benchmark(lambda: collector.collect(workload))
+    record(benchmark, collection_ms=result.collection_time_ms, nnz=matrix.nnz)

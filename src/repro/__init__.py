@@ -37,6 +37,13 @@ from repro.core import (
     seer,
     train_seer_models,
 )
+from repro.domains import (
+    FeatureField,
+    ProblemDomain,
+    domain_names,
+    get_domain,
+    register_domain,
+)
 from repro.gpu import MI100, DeviceSpec, get_device
 from repro.kernels import default_kernels, make_kernel
 from repro.ml import DecisionTreeClassifier, kendall_tau
@@ -49,9 +56,14 @@ from repro.sparse import (
     known_features,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "FeatureField",
+    "ProblemDomain",
+    "domain_names",
+    "get_domain",
+    "register_domain",
     "EngineStats",
     "EvaluationReport",
     "OraclePredictor",

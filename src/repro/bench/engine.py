@@ -25,38 +25,65 @@ to come by twice:
   digest of the package sources, so editing the simulator or kernels
   invalidates stale artifacts automatically.
 
+* **Matrix artifact caching.**  Generating the largest synthetic matrices
+  costs more than benchmarking them, so built matrices are additionally
+  persisted as ``.npz`` arrays keyed by their *recipe* hash (spec payload
+  plus a digest of the ``repro.sparse`` sources only).  Editing the kernels,
+  the simulator or the training code invalidates measurements and sweeps but
+  *not* the generated matrices — re-benchmarking after such an edit skips
+  the generation cost entirely.
+
+The engine is domain-aware: every cache key embeds the active
+:class:`~repro.domains.ProblemDomain`'s name, workers resolve the domain by
+name to rebuild workloads, and the per-domain feature schemas drive the
+measurement JSON layout.
+
 Cache layout::
 
     <cache_dir>/
       sweeps/<config-hash>.pkl        # whole SweepResult artifacts
       sweeps/<config-hash>.json       # human-readable config for debugging
-      measurements/<matrix-hash>.json # per-matrix MatrixMeasurement records
+      measurements/<matrix-hash>.json # per-workload MatrixMeasurement records
+      matrices/<recipe-hash>.npz      # generated CSR matrices
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import pickle
 import tempfile
+import zipfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
+from typing import Optional
 from functools import lru_cache
 from pathlib import Path
+
+import numpy as np
 
 from repro.core.benchmarking import BenchmarkSuite, MatrixMeasurement, measure_matrix
 from repro.core.dataset import DEFAULT_ITERATION_COUNTS
 from repro.core.training import TrainingConfig
+from repro.domains import get_domain, spec_payload
 from repro.gpu.device import MI100, DeviceSpec
-from repro.kernels.feature_kernels import FeatureCollector
-from repro.kernels.registry import kernel_names as registry_kernel_names
-from repro.kernels.registry import make_kernel
-from repro.sparse.collection import CollectionProfile, MatrixSpec, collection_specs
-from repro.sparse.features import GatheredFeatures, KnownFeatures
+from repro.sparse.collection import CollectionProfile
+from repro.sparse.csr import CSRMatrix
 
 #: Bumped whenever the on-disk layout of cached artifacts changes.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
+
+
+def _digest_sources(root: Path) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
 
 
 @lru_cache(maxsize=1)
@@ -68,14 +95,19 @@ def code_version() -> str:
     measurements and sweeps — the cache can never serve artifacts produced
     by different code.
     """
-    package_root = Path(__file__).resolve().parent.parent
-    digest = hashlib.sha256()
-    for path in sorted(package_root.rglob("*.py")):
-        digest.update(path.relative_to(package_root).as_posix().encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()[:16]
+    return _digest_sources(Path(__file__).resolve().parent.parent)
+
+
+@lru_cache(maxsize=1)
+def generator_code_version() -> str:
+    """Digest of the ``repro.sparse`` sources only.
+
+    Generated matrices depend solely on the sparse formats and generators,
+    so their artifact keys use this narrower digest: editing a kernel or the
+    trainer invalidates measurements and sweeps but keeps every generated
+    matrix servable from disk.
+    """
+    return _digest_sources(Path(__file__).resolve().parent.parent / "sparse")
 
 
 def _stable_hash(payload: dict) -> str:
@@ -84,25 +116,39 @@ def _stable_hash(payload: dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()[:24]
 
 
-def _spec_payload(spec: MatrixSpec) -> dict:
-    return {
-        "name": spec.name,
-        "family": spec.family,
-        "builder": spec.builder,
-        "params": [list(item) for item in spec.params],
-        "seed": spec.seed,
-    }
+def measurement_key(spec, kernel_labels, device: DeviceSpec, domain=None) -> str:
+    """Cache key of one workload measurement.
 
-
-def measurement_key(spec: MatrixSpec, kernel_labels, device: DeviceSpec) -> str:
-    """Cache key of one matrix measurement."""
+    Every dataclass field of the spec participates (via
+    :func:`repro.domains.spec_payload`), so domain-specific recipe
+    parameters can never collide.
+    """
+    domain = get_domain(domain)
     return _stable_hash(
         {
             "format": CACHE_FORMAT_VERSION,
             "code": code_version(),
-            "spec": _spec_payload(spec),
+            "domain": domain.name,
+            "spec": spec_payload(spec),
             "kernels": list(kernel_labels),
             "device": asdict(device),
+        }
+    )
+
+
+def matrix_key(spec, domain=None) -> str:
+    """Artifact key of one generated matrix (recipe hash).
+
+    Deliberately independent of the kernel set, the device and the wider
+    package sources: a generated matrix is a pure function of its recipe
+    and the ``repro.sparse`` generator code.
+    """
+    domain = get_domain(domain)
+    return _stable_hash(
+        {
+            "format": CACHE_FORMAT_VERSION,
+            "generators": generator_code_version(),
+            "recipe": domain.matrix_payload(spec),
         }
     )
 
@@ -126,19 +172,23 @@ def sweep_config_key(
     iteration_counts,
     device: DeviceSpec,
     kernel_labels,
-    config: TrainingConfig = None,
+    config: Optional[TrainingConfig] = None,
+    domain=None,
 ) -> str:
     """Cache key of a whole sweep configuration.
 
     ``profile`` may be a name or a ``CollectionProfile``.  ``config=None``
     hashes identically to an explicit default
     :class:`~repro.core.training.TrainingConfig` — they produce the same
-    sweep.
+    sweep.  The domain name participates, so two domains sharing profile
+    names never collide.
     """
+    domain = get_domain(domain)
     return _stable_hash(
         {
             "format": CACHE_FORMAT_VERSION,
             "code": code_version(),
+            "domain": domain.name,
             "profile": _profile_payload(profile),
             "seed": seed,
             "split_seed": split_seed,
@@ -153,26 +203,60 @@ def sweep_config_key(
 # ----------------------------------------------------------------------
 # MatrixMeasurement <-> JSON
 # ----------------------------------------------------------------------
-def measurement_to_dict(measurement: MatrixMeasurement) -> dict:
+def measurement_to_dict(measurement: MatrixMeasurement, domain=None) -> dict:
     """JSON-serializable form of one measurement (infinities allowed)."""
+    domain = get_domain(domain)
     return {
         "name": measurement.name,
-        "known": asdict(measurement.known),
-        "gathered": asdict(measurement.gathered),
+        "domain": domain.name,
+        "known": domain.known_to_payload(measurement.known),
+        "gathered": domain.gathered_to_payload(measurement.gathered),
         "kernel_runtime_ms": dict(measurement.kernel_runtime_ms),
         "kernel_preprocessing_ms": dict(measurement.kernel_preprocessing_ms),
     }
 
 
-def measurement_from_dict(payload: dict) -> MatrixMeasurement:
+def measurement_from_dict(payload: dict, domain=None) -> MatrixMeasurement:
     """Inverse of :func:`measurement_to_dict`."""
+    if domain is None:
+        domain = payload.get("domain")
+    domain = get_domain(domain)
     return MatrixMeasurement(
         name=payload["name"],
-        known=KnownFeatures(**payload["known"]),
-        gathered=GatheredFeatures(**payload["gathered"]),
+        known=domain.known_from_payload(payload["known"]),
+        gathered=domain.gathered_from_payload(payload["gathered"]),
         kernel_runtime_ms=dict(payload["kernel_runtime_ms"]),
         kernel_preprocessing_ms=dict(payload["kernel_preprocessing_ms"]),
     )
+
+
+# ----------------------------------------------------------------------
+# CSRMatrix <-> npz artifacts
+# ----------------------------------------------------------------------
+def matrix_to_bytes(matrix: CSRMatrix) -> bytes:
+    """Serialized ``.npz`` form of one generated matrix."""
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        num_rows=np.int64(matrix.num_rows),
+        num_cols=np.int64(matrix.num_cols),
+        row_offsets=matrix.row_offsets,
+        col_indices=matrix.col_indices,
+        values=matrix.values,
+    )
+    return buffer.getvalue()
+
+
+def matrix_from_bytes(data: bytes) -> CSRMatrix:
+    """Inverse of :func:`matrix_to_bytes`."""
+    with np.load(io.BytesIO(data)) as arrays:
+        return CSRMatrix(
+            num_rows=int(arrays["num_rows"]),
+            num_cols=int(arrays["num_cols"]),
+            row_offsets=arrays["row_offsets"],
+            col_indices=arrays["col_indices"],
+            values=arrays["values"],
+        )
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -191,20 +275,60 @@ def _atomic_write_bytes(path: Path, data: bytes) -> None:
         raise
 
 
-def _measure_spec_chunk(specs, kernel_labels, device: DeviceSpec) -> list:
-    """Worker entry point: benchmark a chunk of matrix recipes.
+def _load_matrix_artifact(path: Path):
+    """Read a cached matrix artifact, or ``None`` when absent/corrupt."""
+    try:
+        data = path.read_bytes()
+        return matrix_from_bytes(data)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        # BadZipFile covers .npz files that keep their zip magic but are
+        # truncated/corrupt; such artifacts are regenerated, never fatal.
+        return None
+
+
+def _measure_spec_chunk(
+    specs,
+    kernel_labels,
+    device: DeviceSpec,
+    domain=None,
+    matrix_dir=None,
+) -> tuple:
+    """Worker entry point: benchmark a chunk of workload recipes.
 
     Runs in a worker process (must stay a module-level function so it can be
-    pickled).  Kernels and the feature collector are rebuilt per chunk; the
-    simulated timings are deterministic, so where a measurement is computed
-    does not change its value.
+    pickled).  The domain crosses the process boundary as an object:
+    registered domains pickle by name and resolve to the worker's singleton,
+    while unregistered custom domains pickle by state — so spawn-start-method
+    workers handle both.  Kernels and the feature collector are rebuilt per
+    chunk; the simulated timings are deterministic, so where a measurement is
+    computed does not change its value.  With a ``matrix_dir``, built
+    matrices are served from and stored into the matrix artifact tier.
+
+    Returns ``(measurements, matrices_generated, matrix_cache_hits)``.
     """
-    kernels = [make_kernel(label, device) for label in kernel_labels]
-    collector = FeatureCollector(device)
-    return [
-        measure_matrix(spec.name, spec.build(), kernels, collector)
-        for spec in specs
-    ]
+    domain = get_domain(domain)
+    kernels = [domain.make_kernel(label, device) for label in kernel_labels]
+    collector = domain.make_collector(device)
+    matrix_dir = Path(matrix_dir) if matrix_dir is not None else None
+    measurements = []
+    generated = 0
+    matrix_hits = 0
+    for spec in specs:
+        matrix = None
+        artifact_path = None
+        if matrix_dir is not None:
+            artifact_path = matrix_dir / f"{matrix_key(spec, domain)}.npz"
+            matrix = _load_matrix_artifact(artifact_path)
+        if matrix is None:
+            matrix = domain.spec_matrix(spec)
+            generated += 1
+            if artifact_path is not None:
+                _atomic_write_bytes(artifact_path, matrix_to_bytes(matrix))
+        else:
+            matrix_hits += 1
+        workload = domain.workload_from_matrix(spec, matrix)
+        measurements.append(measure_matrix(spec.name, workload, kernels, collector, domain=domain))
+    return measurements, generated, matrix_hits
 
 
 @dataclass
@@ -215,6 +339,8 @@ class EngineStats:
     measurement_cache_hits: int = 0
     sweep_cache_hits: int = 0
     sweep_cache_misses: int = 0
+    matrices_generated: int = 0
+    matrix_cache_hits: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -254,6 +380,12 @@ class SweepEngine:
     def _sweep_path(self, key: str) -> Path:
         return self.cache_dir / "sweeps" / f"{key}.pkl"
 
+    def _matrix_dir(self):
+        """Directory of the generated-matrix artifact tier (or ``None``)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "matrices"
+
     def _load_measurement(self, key: str):
         if self.cache_dir is None:
             return None
@@ -264,10 +396,10 @@ class SweepEngine:
             return None
         return measurement_from_dict(payload)
 
-    def _store_measurement(self, key: str, measurement: MatrixMeasurement) -> None:
+    def _store_measurement(self, key: str, measurement: MatrixMeasurement, domain=None) -> None:
         if self.cache_dir is None:
             return
-        data = json.dumps(measurement_to_dict(measurement)).encode()
+        data = json.dumps(measurement_to_dict(measurement, domain)).encode()
         _atomic_write_bytes(self._measurement_path(key), data)
 
     def _load_sweep(self, key: str):
@@ -290,17 +422,18 @@ class SweepEngine:
     # ------------------------------------------------------------------
     # Benchmarking stage
     # ------------------------------------------------------------------
-    def measure_specs(self, specs, kernel_labels, device: DeviceSpec = MI100) -> list:
-        """Benchmark matrix recipes, in order, using cache and workers.
+    def measure_specs(self, specs, kernel_labels, device: DeviceSpec = MI100, domain=None) -> list:
+        """Benchmark workload recipes, in order, using cache and workers.
 
         Returns one :class:`~repro.core.benchmarking.MatrixMeasurement` per
         spec, in the order the specs were given — identical to what the
         serial loop in :func:`repro.core.benchmarking.run_benchmark_suite`
         produces for the same recipes.
         """
+        domain = get_domain(domain)
         specs = list(specs)
         kernel_labels = tuple(kernel_labels)
-        keys = [measurement_key(spec, kernel_labels, device) for spec in specs]
+        keys = [measurement_key(spec, kernel_labels, device, domain) for spec in specs]
         results = [None] * len(specs)
         pending = []
         for index, key in enumerate(keys):
@@ -313,30 +446,43 @@ class SweepEngine:
 
         if pending:
             pending_specs = [specs[index] for index in pending]
-            measured = self._run_pending(pending_specs, kernel_labels, device)
+            measured = self._run_pending(pending_specs, kernel_labels, device, domain)
             for index, measurement in zip(pending, measured):
                 results[index] = measurement
-                self._store_measurement(keys[index], measurement)
+                self._store_measurement(keys[index], measurement, domain)
             self.stats.matrices_measured += len(pending)
         return results
 
-    def _run_pending(self, specs, kernel_labels, device: DeviceSpec) -> list:
+    def _run_pending(self, specs, kernel_labels, device: DeviceSpec, domain) -> list:
         """Benchmark uncached specs, parallel when the engine has workers."""
+        matrix_dir = self._matrix_dir()
         if self.jobs == 1 or len(specs) <= 1:
-            return _measure_spec_chunk(specs, kernel_labels, device)
-        chunk_size = max(1, -(-len(specs) // (self.jobs * self.chunks_per_job)))
-        chunks = [
-            specs[start : start + chunk_size]
-            for start in range(0, len(specs), chunk_size)
-        ]
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks))) as pool:
-            futures = [
-                pool.submit(_measure_spec_chunk, chunk, kernel_labels, device)
-                for chunk in chunks
+            chunk_results = [_measure_spec_chunk(specs, kernel_labels, device, domain, matrix_dir)]
+        else:
+            chunk_size = max(1, -(-len(specs) // (self.jobs * self.chunks_per_job)))
+            chunks = [
+                specs[start : start + chunk_size]
+                for start in range(0, len(specs), chunk_size)
             ]
-            measurements = []
-            for future in futures:  # submission order == spec order
-                measurements.extend(future.result())
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks))) as pool:
+                futures = [
+                    pool.submit(
+                        _measure_spec_chunk,
+                        chunk,
+                        kernel_labels,
+                        device,
+                        domain,
+                        matrix_dir,
+                    )
+                    for chunk in chunks
+                ]
+                # Submission order == spec order.
+                chunk_results = [future.result() for future in futures]
+        measurements = []
+        for chunk_measurements, generated, matrix_hits in chunk_results:
+            measurements.extend(chunk_measurements)
+            self.stats.matrices_generated += generated
+            self.stats.matrix_cache_hits += matrix_hits
         return measurements
 
     def run_benchmark_suite(
@@ -345,15 +491,18 @@ class SweepEngine:
         seed: int = 7,
         device: DeviceSpec = MI100,
         include_rocsparse: bool = True,
+        domain=None,
     ) -> BenchmarkSuite:
         """Benchmarking + feature collection for a named profile."""
-        kernel_labels = registry_kernel_names(include_rocsparse)
-        specs = collection_specs(profile, base_seed=seed)
-        measurements = self.measure_specs(specs, kernel_labels, device)
+        domain = get_domain(domain)
+        kernel_labels = domain.kernel_names(include_aux=include_rocsparse)
+        specs = domain.collection_specs(profile, base_seed=seed)
+        measurements = self.measure_specs(specs, kernel_labels, device, domain)
         return BenchmarkSuite(
             kernel_names=list(kernel_labels),
             measurements=measurements,
             device_name=device.name,
+            domain_name=domain.name,
         )
 
     # ------------------------------------------------------------------
@@ -366,8 +515,9 @@ class SweepEngine:
         device: DeviceSpec = MI100,
         seed: int = 7,
         split_seed: int = 13,
-        config: TrainingConfig = None,
+        config: Optional[TrainingConfig] = None,
         include_rocsparse: bool = True,
+        domain=None,
     ):
         """Run (or reload) the full pipeline for one configuration.
 
@@ -377,9 +527,17 @@ class SweepEngine:
         """
         from repro.bench.runner import assemble_sweep
 
-        kernel_labels = registry_kernel_names(include_rocsparse)
+        domain = get_domain(domain)
+        kernel_labels = domain.kernel_names(include_aux=include_rocsparse)
         key = sweep_config_key(
-            profile, seed, split_seed, iteration_counts, device, kernel_labels, config
+            profile,
+            seed,
+            split_seed,
+            iteration_counts,
+            device,
+            kernel_labels,
+            config,
+            domain,
         )
         cached = self._load_sweep(key)
         if cached is not None:
@@ -392,6 +550,7 @@ class SweepEngine:
             seed=seed,
             device=device,
             include_rocsparse=include_rocsparse,
+            domain=domain,
         )
         result = assemble_sweep(
             suite,
@@ -404,6 +563,7 @@ class SweepEngine:
             key,
             result,
             describe={
+                "domain": domain.name,
                 "profile": _profile_payload(profile),
                 "seed": seed,
                 "split_seed": split_seed,

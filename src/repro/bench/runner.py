@@ -16,6 +16,7 @@ bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.bench.evaluation import EvaluationReport, evaluate_dataset
 from repro.core.benchmarking import BenchmarkSuite, run_benchmark_suite
@@ -26,10 +27,9 @@ from repro.core.dataset import (
 )
 from repro.core.inference import SeerPredictor
 from repro.core.training import SeerModels, TrainingConfig, train_seer_models
+from repro.domains import get_domain
 from repro.gpu.device import MI100
-from repro.kernels.registry import default_kernels
 from repro.ml.split import train_test_split
-from repro.sparse.collection import iter_collection
 
 #: Train/test split used throughout the paper (Section IV-C).
 TEST_FRACTION = 0.2
@@ -53,13 +53,18 @@ class SweepResult:
         """Kernel labels of the sweep, in paper order."""
         return list(self.suite.kernel_names)
 
+    @property
+    def domain_name(self) -> str:
+        """Name of the problem domain the sweep ran on."""
+        return self.suite.domain_name
+
 
 def assemble_sweep(
     suite: BenchmarkSuite,
     iteration_counts=DEFAULT_ITERATION_COUNTS,
     device=MI100,
     split_seed: int = 13,
-    config: TrainingConfig = None,
+    config: Optional[TrainingConfig] = None,
 ) -> SweepResult:
     """Turn a benchmark suite into a full :class:`SweepResult`.
 
@@ -78,7 +83,7 @@ def assemble_sweep(
     test_set = dataset.subset(test_idx)
 
     models = train_seer_models(train_set, config)
-    predictor = SeerPredictor(models, device=device)
+    predictor = SeerPredictor(models, device=device, domain=suite.domain)
     train_report = evaluate_dataset(train_set, models, predictor)
     test_report = evaluate_dataset(test_set, models, predictor)
     return SweepResult(
@@ -99,10 +104,11 @@ def run_sweep(
     device=MI100,
     seed: int = 7,
     split_seed: int = 13,
-    config: TrainingConfig = None,
+    config: Optional[TrainingConfig] = None,
     include_rocsparse: bool = True,
     collection=None,
     engine=None,
+    domain=None,
 ) -> SweepResult:
     """Run the full pipeline and return models plus evaluation reports.
 
@@ -122,7 +128,8 @@ def run_sweep(
     config:
         Tree-depth configuration.
     include_rocsparse:
-        Whether the vendor adaptive kernel joins the kernel set.
+        Whether the vendor/aux kernels join the kernel set (for the SpMV
+        case study: the rocSPARSE adaptive kernel).
     collection:
         Pre-built collection (any iterable of records), overriding
         ``profile``/``seed``.
@@ -132,7 +139,12 @@ def run_sweep(
         on-disk cache.  Requires a named ``profile`` (the cache key is built
         from the collection recipe, which a pre-built ``collection`` does not
         carry).
+    domain:
+        Problem domain to sweep (name or instance); defaults to ``"spmv"``.
+        ``run_sweep(profile="tiny", domain="spmm")`` runs the SpMM domain
+        end to end through exactly the same pipeline.
     """
+    domain = get_domain(domain)
     if engine is not None:
         if collection is not None:
             raise ValueError(
@@ -147,12 +159,13 @@ def run_sweep(
             split_seed=split_seed,
             config=config,
             include_rocsparse=include_rocsparse,
+            domain=domain,
         )
     if collection is None:
-        # Matrices are generated lazily so only one lives in memory at a time.
-        collection = iter_collection(profile, base_seed=seed)
-    kernels = default_kernels(device, include_rocsparse=include_rocsparse)
-    suite = run_benchmark_suite(collection, kernels=kernels, device=device)
+        # Workloads are generated lazily so only one lives in memory at a time.
+        collection = domain.iter_collection(profile, base_seed=seed)
+    kernels = domain.default_kernels(device, include_aux=include_rocsparse)
+    suite = run_benchmark_suite(collection, kernels=kernels, device=device, domain=domain)
     return assemble_sweep(
         suite,
         iteration_counts=iteration_counts,

@@ -30,6 +30,7 @@ from pathlib import Path
 from repro.bench.engine import SweepEngine, engine_from_env
 from repro.bench.runner import run_sweep
 from repro.core.codegen import write_cpp_header, write_python_module
+from repro.domains import DEFAULT_DOMAIN, domain_names
 from repro.experiments import (
     run_accuracy_table,
     run_fig1,
@@ -50,6 +51,15 @@ def _add_profile(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_PROFILE,
         choices=list(PROFILE_NAMES),
         help="synthetic collection profile to benchmark on",
+    )
+
+
+def _add_domain(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--domain",
+        default=DEFAULT_DOMAIN,
+        choices=list(domain_names()),
+        help="problem domain to sweep (default: %(default)s)",
     )
 
 
@@ -94,9 +104,12 @@ def _resolve_engine(args) -> SweepEngine:
 
 def _cmd_sweep(args) -> int:
     engine = _resolve_engine(args)
-    sweep = run_sweep(profile=args.profile, engine=engine)
+    sweep = run_sweep(profile=args.profile, engine=engine, domain=args.domain)
     report = sweep.test_report
-    print(f"benchmarked {len(sweep.suite)} matrices, {len(sweep.dataset)} samples")
+    print(
+        f"domain {sweep.suite.domain_name}: benchmarked {len(sweep.suite)} "
+        f"workloads, {len(sweep.dataset)} samples"
+    )
     print(f"known/gathered accuracy: {report.accuracy('Known'):.2f} / "
           f"{report.accuracy('Gathered'):.2f}")
     print(f"selector routing accuracy: {report.selector_choice_accuracy():.2f}")
@@ -144,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="run the full pipeline and optionally export CSVs")
     _add_profile(sweep)
+    _add_domain(sweep)
     _add_engine_options(sweep)
     sweep.add_argument("--output-dir", default=None, help="directory for CSVs and generated headers")
     sweep.set_defaults(func=_cmd_sweep)

@@ -5,6 +5,10 @@ over the representative dataset to record per-iteration runtime and
 preprocessing time, and the feature-collection kernels are run to record the
 gathered features together with their collection cost.  The results can be
 kept in memory or round-tripped through the CSV layouts of Section III-D.
+
+The stage is domain-agnostic: the active :class:`~repro.domains.ProblemDomain`
+supplies the kernels, the feature schemas and the collector, and the default
+domain is the paper's ``"spmv"`` case study.
 """
 
 from __future__ import annotations
@@ -14,17 +18,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core import csv_schemas
+from repro.domains import DEFAULT_DOMAIN, get_domain
 from repro.gpu.device import MI100
 from repro.kernels.base import UnsupportedKernelError
-from repro.kernels.feature_kernels import FeatureCollector
-from repro.kernels.registry import default_kernels
-from repro.sparse.features import (
-    GATHERED_FEATURE_NAMES,
-    KNOWN_FEATURE_NAMES,
-    GatheredFeatures,
-    KnownFeatures,
-    known_features,
-)
 
 #: Value recorded when a kernel cannot process a matrix at all.
 UNSUPPORTED_TIME_MS = math.inf
@@ -32,11 +28,18 @@ UNSUPPORTED_TIME_MS = math.inf
 
 @dataclass
 class MatrixMeasurement:
-    """Everything measured for one matrix of the representative dataset."""
+    """Everything measured for one workload of the representative dataset.
+
+    ``known``/``gathered`` are the active domain's feature objects (the
+    :class:`~repro.sparse.features.KnownFeatures` /
+    :class:`~repro.sparse.features.GatheredFeatures` dataclasses for SpMV,
+    generic feature rows for other domains); both expose ``as_vector``,
+    ``as_dict`` and the iteration/collection-time accessors.
+    """
 
     name: str
-    known: KnownFeatures
-    gathered: GatheredFeatures
+    known: object
+    gathered: object
     kernel_runtime_ms: dict
     kernel_preprocessing_ms: dict
 
@@ -72,6 +75,12 @@ class BenchmarkSuite:
     kernel_names: list
     measurements: list = field(default_factory=list)
     device_name: str = MI100.name
+    domain_name: str = DEFAULT_DOMAIN
+
+    @property
+    def domain(self):
+        """The :class:`~repro.domains.ProblemDomain` this suite belongs to."""
+        return get_domain(self.domain_name)
 
     def __len__(self) -> int:
         return len(self.measurements)
@@ -109,9 +118,10 @@ class BenchmarkSuite:
         csv_schemas.write_aggregate_csv(
             directory / "preprocessing.csv", self.kernel_names, preprocessing_table
         )
+        domain = self.domain
         csv_schemas.write_feature_csv(
             directory / "features.csv",
-            GATHERED_FEATURE_NAMES,
+            domain.gathered_feature_names,
             {
                 m.name: (m.gathered.as_dict(), m.collection_time_ms)
                 for m in self.measurements
@@ -119,8 +129,14 @@ class BenchmarkSuite:
         )
         csv_schemas.write_feature_csv(
             directory / "known.csv",
-            KNOWN_FEATURE_NAMES,
+            domain.known_feature_names,
             {m.name: (m.known.as_dict(), 0.0) for m in self.measurements},
+        )
+        csv_schemas.write_manifest(
+            directory / "manifest.json",
+            domain=domain,
+            kernel_names=self.kernel_names,
+            device_name=self.device_name,
         )
         for kernel in self.kernel_names:
             csv_schemas.write_kernel_benchmark_csv(
@@ -133,9 +149,19 @@ class BenchmarkSuite:
             )
 
     @classmethod
-    def load(cls, directory) -> "BenchmarkSuite":
-        """Read a suite previously written by :meth:`save`."""
+    def load(cls, directory, domain=None) -> "BenchmarkSuite":
+        """Read a suite previously written by :meth:`save`.
+
+        The domain is resolved from the directory's ``manifest.json`` when
+        present; otherwise from ``domain`` (defaulting to ``"spmv"``, the
+        layout every pre-domain artifact used).
+        """
         directory = Path(directory)
+        manifest = csv_schemas.read_manifest(directory / "manifest.json")
+        if manifest is not None:
+            domain = get_domain(manifest["domain"])
+        else:
+            domain = get_domain(domain)
         kernel_names, runtime_table = csv_schemas.read_aggregate_csv(
             directory / "runtime.csv"
         )
@@ -151,61 +177,61 @@ class BenchmarkSuite:
             measurements.append(
                 MatrixMeasurement(
                     name=name,
-                    known=KnownFeatures(
-                        rows=int(known_values["rows"]),
-                        cols=int(known_values["cols"]),
-                        nnz=int(known_values["nnz"]),
-                        iterations=int(known_values["iterations"]),
-                    ),
-                    gathered=GatheredFeatures(
-                        max_row_density=gathered_values["max_row_density"],
-                        min_row_density=gathered_values["min_row_density"],
-                        mean_row_density=gathered_values["mean_row_density"],
-                        var_row_density=gathered_values["var_row_density"],
-                        collection_time_ms=collection_time,
+                    known=domain.known_from_row(known_values),
+                    gathered=domain.gathered_from_row(
+                        gathered_values, collection_time_ms=collection_time
                     ),
                     kernel_runtime_ms=runtime_table[name],
                     kernel_preprocessing_ms=preprocessing_table[name],
                 )
             )
-        return cls(kernel_names=list(kernel_names), measurements=measurements)
+        return cls(
+            kernel_names=list(kernel_names),
+            measurements=measurements,
+            domain_name=domain.name,
+        )
 
 
-def measure_matrix(name, matrix, kernels, collector: FeatureCollector) -> MatrixMeasurement:
-    """Benchmark one matrix on every kernel and collect its features."""
+def measure_matrix(name, workload, kernels, collector, domain=None) -> MatrixMeasurement:
+    """Benchmark one workload on every kernel and collect its features."""
+    domain = get_domain(domain)
     runtime = {}
     preprocessing = {}
     for kernel in kernels:
         try:
-            timing = kernel.timing(matrix)
+            timing = kernel.timing(workload)
         except UnsupportedKernelError:
             runtime[kernel.name] = UNSUPPORTED_TIME_MS
             preprocessing[kernel.name] = 0.0
             continue
         runtime[kernel.name] = timing.iteration_ms
         preprocessing[kernel.name] = timing.preprocessing_ms
-    collection = collector.collect(matrix)
+    collection = collector.collect(workload)
     return MatrixMeasurement(
         name=name,
-        known=known_features(matrix),
+        known=domain.known_features(workload),
         gathered=collection.features,
         kernel_runtime_ms=runtime,
         kernel_preprocessing_ms=preprocessing,
     )
 
 
-def run_benchmark_suite(records, kernels=None, device=MI100) -> BenchmarkSuite:
+def run_benchmark_suite(records, kernels=None, device=MI100, domain=None) -> BenchmarkSuite:
     """Run the GPU benchmarking and feature-collection stages over a dataset.
 
     Parameters
     ----------
     records:
         Iterable of objects with ``name`` and ``matrix`` attributes (for
-        example :class:`repro.sparse.collection.MatrixRecord`).
+        example :class:`repro.sparse.collection.MatrixRecord`; ``matrix``
+        holds the domain's workload object).
     kernels:
-        Kernel instances to benchmark; defaults to the full Table II set.
+        Kernel instances to benchmark; defaults to the domain's registered
+        set (the full Table II set for SpMV).
     device:
         Simulated device the kernels run on.
+    domain:
+        Problem domain name or instance; defaults to ``"spmv"``.
 
     Note
     ----
@@ -213,15 +239,17 @@ def run_benchmark_suite(records, kernels=None, device=MI100) -> BenchmarkSuite:
     timed runs.  The simulated timings are deterministic, so a single
     evaluation is exact and repetition is unnecessary here.
     """
+    domain = get_domain(domain)
     if kernels is None:
-        kernels = default_kernels(device)
-    collector = FeatureCollector(device)
+        kernels = domain.default_kernels(device)
+    collector = domain.make_collector(device)
     measurements = [
-        measure_matrix(record.name, record.matrix, kernels, collector)
+        measure_matrix(record.name, record.matrix, kernels, collector, domain=domain)
         for record in records
     ]
     return BenchmarkSuite(
         kernel_names=[kernel.name for kernel in kernels],
         measurements=measurements,
         device_name=device.name,
+        domain_name=domain.name,
     )

@@ -11,12 +11,16 @@ The paper's tooling communicates between stages through CSV files:
 
 These helpers read and write exactly those layouts so the reproduction's
 pipeline stages can also be driven from files on disk, as the original
-tooling is.
+tooling is.  The layouts are domain-agnostic — the feature columns are
+whatever the active :class:`~repro.domains.ProblemDomain` declares — and a
+``manifest.json`` sidecar records which domain produced a directory of
+artifacts so it can be loaded back without guessing.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 
 #: Column names of the per-kernel GPU-benchmarking CSV.
@@ -27,6 +31,35 @@ NAME_COLUMN = "name"
 
 #: Name of the trailing column of the feature CSV.
 COLLECTION_TIME_COLUMN = "collection_time_ms"
+
+#: Schema version of the ``manifest.json`` sidecar.
+MANIFEST_VERSION = 1
+
+
+def write_manifest(path, domain, kernel_names, device_name: str) -> None:
+    """Write the ``manifest.json`` sidecar describing a CSV artifact set."""
+    path = Path(path)
+    payload = {
+        "version": MANIFEST_VERSION,
+        "domain": domain.name,
+        "device": device_name,
+        "kernels": list(kernel_names),
+        "known_features": list(domain.known_feature_names),
+        "gathered_features": list(domain.gathered_feature_names),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def read_manifest(path):
+    """Read a ``manifest.json`` sidecar, or ``None`` when absent/unreadable."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or "domain" not in payload:
+        return None
+    return payload
 
 
 def write_kernel_benchmark_csv(path, kernel_name: str, rows) -> None:

@@ -20,11 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.benchmarking import BenchmarkSuite, MatrixMeasurement
-from repro.sparse.features import (
-    ALL_FEATURE_NAMES,
-    GATHERED_FEATURE_NAMES,
-    KNOWN_FEATURE_NAMES,
-)
+from repro.sparse.features import GATHERED_FEATURE_NAMES, KNOWN_FEATURE_NAMES
 
 #: Iteration counts used to build the default training corpus; 1 and 19 are
 #: the two points the paper's multi-iteration study examines (Fig. 7).
@@ -75,8 +71,8 @@ class TrainingDataset:
 
     @property
     def full_feature_names(self) -> tuple:
-        """Feature layout of the gathered classifier."""
-        return ALL_FEATURE_NAMES
+        """Feature layout of the gathered classifier (known then gathered)."""
+        return tuple(self.known_feature_names) + tuple(self.gathered_feature_names)
 
     def known_matrix(self) -> np.ndarray:
         """Known-feature matrix, one row per sample."""
@@ -146,4 +142,10 @@ def build_training_dataset(
         for measurement in suite.measurements
         for iterations in iteration_counts
     ]
-    return TrainingDataset(kernel_names=list(suite.kernel_names), samples=samples)
+    domain = suite.domain
+    return TrainingDataset(
+        kernel_names=list(suite.kernel_names),
+        samples=samples,
+        known_feature_names=domain.known_feature_names,
+        gathered_feature_names=domain.gathered_feature_names,
+    )

@@ -16,11 +16,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.training import USE_GATHERED, USE_KNOWN, SeerModels
+from repro.domains import get_domain
 from repro.gpu.device import DeviceSpec, MI100
-from repro.kernels.feature_kernels import FeatureCollector
-from repro.kernels.registry import make_kernel
-from repro.sparse.csr import CSRMatrix
-from repro.sparse.features import GatheredFeatures, KnownFeatures, known_features
 
 #: Cost of evaluating one decision tree at runtime (milliseconds).  A tree of
 #: depth <= 8 is a few compares and branches; the value is deliberately tiny
@@ -36,8 +33,8 @@ class SelectionDecision:
     iterations: int
     selector_choice: str
     kernel_name: str
-    known: KnownFeatures
-    gathered: GatheredFeatures
+    known: object
+    gathered: object
     collection_time_ms: float
     inference_time_ms: float
 
@@ -66,34 +63,41 @@ class ExecutionResult:
 
 
 class SeerPredictor:
-    """Deployable runtime predictor built from the trained models."""
+    """Deployable runtime predictor built from the trained models.
+
+    The predictor is bound to the problem domain it was trained on: the
+    domain supplies the known-feature extraction, the feature collector and
+    the kernel instantiation at execution time.
+    """
 
     def __init__(
         self,
         models: SeerModels,
         device: DeviceSpec = MI100,
-        collector: FeatureCollector = None,
+        collector=None,
+        domain=None,
     ):
         self.models = models
         self.device = device
-        self.collector = collector or FeatureCollector(device)
+        self.domain = get_domain(domain)
+        self.collector = collector or self.domain.make_collector(device)
 
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
     def predict(
-        self, matrix: CSRMatrix, iterations: int = 1, name: str = "matrix"
+        self, workload, iterations: int = 1, name: str = "matrix"
     ) -> SelectionDecision:
-        """Select a kernel for ``matrix`` following the Fig. 3 flow."""
+        """Select a kernel for ``workload`` following the Fig. 3 flow."""
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
-        known = known_features(matrix, iterations)
-        return self._decide(known, name, lambda: self.collector.collect(matrix))
+        known = self.domain.known_features(workload, iterations)
+        return self._decide(known, name, lambda: self.collector.collect(workload))
 
     def predict_from_features(
         self,
-        known: KnownFeatures,
-        gathered: GatheredFeatures,
+        known,
+        gathered,
         collection_time_ms: float,
         name: str = "matrix",
     ) -> SelectionDecision:
@@ -113,7 +117,7 @@ class SeerPredictor:
 
         return self._decide(known, name, _collect)
 
-    def _decide(self, known: KnownFeatures, name: str, collect) -> SelectionDecision:
+    def _decide(self, known, name: str, collect) -> SelectionDecision:
         known_vector = known.as_vector()
         selector_choice = self.models.predict_selector(known_vector)
         inference_ms = TREE_EVALUATION_MS  # the selector evaluation
@@ -126,7 +130,7 @@ class SeerPredictor:
             )
         else:
             selector_choice = USE_KNOWN
-            gathered = GatheredFeatures(0.0, 0.0, 0.0, 0.0)
+            gathered = self.domain.empty_gathered()
             collection_ms = 0.0
             kernel_name = self.models.predict_known(known_vector)
         inference_ms += TREE_EVALUATION_MS  # the chosen classifier evaluation
@@ -146,13 +150,13 @@ class SeerPredictor:
     # ------------------------------------------------------------------
     def execute(
         self,
-        matrix: CSRMatrix,
+        workload,
         x: np.ndarray,
         iterations: int = 1,
         name: str = "matrix",
     ) -> ExecutionResult:
-        """Select a kernel and run it on ``matrix`` and ``x``."""
-        decision = self.predict(matrix, iterations, name)
-        kernel = make_kernel(decision.kernel_name, self.device)
-        run = kernel.run(matrix, x, iterations)
+        """Select a kernel and run it on ``workload`` and ``x``."""
+        decision = self.predict(workload, iterations, name)
+        kernel = self.domain.make_kernel(decision.kernel_name, self.device)
+        run = kernel.run(workload, x, iterations)
         return ExecutionResult(decision=decision, run=run)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Optional
 
 from repro.core import csv_schemas
 from repro.core.benchmarking import BenchmarkSuite, MatrixMeasurement
@@ -22,8 +23,8 @@ from repro.core.codegen import models_to_cpp_header, models_to_python_module, wr
 from repro.core.dataset import DEFAULT_ITERATION_COUNTS, build_training_dataset
 from repro.core.inference import SeerPredictor
 from repro.core.training import SeerModels, TrainingConfig, train_seer_models
+from repro.domains import get_domain
 from repro.gpu.device import DeviceSpec, MI100
-from repro.sparse.features import GatheredFeatures, KnownFeatures
 
 
 @dataclass
@@ -34,7 +35,7 @@ class SeerResult:
     predictor: SeerPredictor
     cpp_header: str
     python_module: str
-    header_path: Path = None
+    header_path: Optional[Path] = None
 
     def save_header(self, path) -> Path:
         """Write the generated C++ header to ``path``."""
@@ -58,8 +59,15 @@ def _load_features(features_or_path):
     return features_or_path
 
 
-def suite_from_tables(runtime, preprocessing_data, features, known) -> BenchmarkSuite:
-    """Assemble a :class:`BenchmarkSuite` from the four pipeline tables."""
+def suite_from_tables(
+    runtime, preprocessing_data, features, known, domain=None
+) -> BenchmarkSuite:
+    """Assemble a :class:`BenchmarkSuite` from the four pipeline tables.
+
+    The feature columns are interpreted by ``domain`` (default ``"spmv"``);
+    any registered domain's CSV artifacts round-trip through here.
+    """
+    domain = get_domain(domain)
     runtime = _load_table(runtime)
     preprocessing_data = _load_table(preprocessing_data)
     features = _load_features(features)
@@ -78,24 +86,19 @@ def suite_from_tables(runtime, preprocessing_data, features, known) -> Benchmark
         measurements.append(
             MatrixMeasurement(
                 name=name,
-                known=KnownFeatures(
-                    rows=int(known_values["rows"]),
-                    cols=int(known_values["cols"]),
-                    nnz=int(known_values["nnz"]),
-                    iterations=int(known_values.get("iterations", 1)),
-                ),
-                gathered=GatheredFeatures(
-                    max_row_density=gathered_values["max_row_density"],
-                    min_row_density=gathered_values["min_row_density"],
-                    mean_row_density=gathered_values["mean_row_density"],
-                    var_row_density=gathered_values["var_row_density"],
-                    collection_time_ms=collection_time,
+                known=domain.known_from_row(known_values),
+                gathered=domain.gathered_from_row(
+                    gathered_values, collection_time_ms=collection_time
                 ),
                 kernel_runtime_ms=dict(runtime[name]),
                 kernel_preprocessing_ms=dict(preprocessing_data[name]),
             )
         )
-    return BenchmarkSuite(kernel_names=kernel_names, measurements=measurements)
+    return BenchmarkSuite(
+        kernel_names=kernel_names,
+        measurements=measurements,
+        domain_name=domain.name,
+    )
 
 
 def seer(
@@ -104,9 +107,10 @@ def seer(
     features,
     known=None,
     iteration_counts=DEFAULT_ITERATION_COUNTS,
-    config: TrainingConfig = None,
+    config: Optional[TrainingConfig] = None,
     device: DeviceSpec = MI100,
     header_path=None,
+    domain=None,
 ) -> SeerResult:
     """Train the Seer models from benchmarking and feature-collection data.
 
@@ -129,6 +133,10 @@ def seer(
         Device the deployed predictor's feature collector is simulated on.
     header_path:
         When given, the generated C++ header is also written to this path.
+    domain:
+        Problem domain the tables belong to (name or instance).  Defaults
+        to ``"spmv"``; ignored in favour of the suite's own domain when
+        ``runtime`` is already a :class:`BenchmarkSuite`.
     """
     if isinstance(runtime, BenchmarkSuite):
         suite = runtime
@@ -137,13 +145,15 @@ def seer(
             raise ValueError(
                 "the known-feature table is required when passing raw tables"
             )
-        suite = suite_from_tables(runtime, preprocessing_data, features, known)
+        suite = suite_from_tables(
+            runtime, preprocessing_data, features, known, domain=domain
+        )
 
     dataset = build_training_dataset(suite, iteration_counts)
     models = train_seer_models(dataset, config)
     result = SeerResult(
         models=models,
-        predictor=SeerPredictor(models, device=device),
+        predictor=SeerPredictor(models, device=device, domain=suite.domain),
         cpp_header=models_to_cpp_header(models),
         python_module=models_to_python_module(models),
     )

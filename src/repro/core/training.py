@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -234,7 +235,7 @@ def _expected_path_costs(
 
 
 def train_seer_models(
-    dataset: TrainingDataset, config: TrainingConfig = None
+    dataset: TrainingDataset, config: Optional[TrainingConfig] = None
 ) -> SeerModels:
     """Fit the known, gathered and classifier-selection decision trees."""
     if len(dataset) == 0:

@@ -1,0 +1,61 @@
+"""Problem-domain plugins for the Seer pipeline.
+
+Importing this package registers the built-in domains:
+
+* ``"spmv"`` — the paper's sparse matrix-vector case study (the default
+  everywhere a domain is not named);
+* ``"spmm"`` — sparse matrix x dense multi-vector, proving the pipeline is
+  domain-agnostic.
+
+Register a new domain with::
+
+    from repro.domains import ProblemDomain, register_domain
+
+    class MyDomain(ProblemDomain):
+        name = "mydomain"
+        ...
+
+    register_domain(MyDomain())
+
+after which ``run_sweep(domain="mydomain")`` and
+``repro sweep --domain mydomain`` work end to end.  See the README's
+"Writing a new domain" guide and :mod:`repro.domains.spmm` for a complete
+worked example.
+"""
+
+from repro.domains.base import (
+    FeatureField,
+    GatheredFeatureRow,
+    KnownFeatureRow,
+    ProblemDomain,
+    spec_payload,
+)
+from repro.domains.registry import (
+    DEFAULT_DOMAIN,
+    domain_names,
+    ensure_registered,
+    get_domain,
+    register_domain,
+    unregister_domain,
+)
+from repro.domains.spmv import SPMV, SpmvDomain
+from repro.domains.spmm import SPMM, SpmmDomain, SpmmWorkload
+
+__all__ = [
+    "FeatureField",
+    "GatheredFeatureRow",
+    "KnownFeatureRow",
+    "ProblemDomain",
+    "spec_payload",
+    "domain_names",
+    "ensure_registered",
+    "get_domain",
+    "register_domain",
+    "unregister_domain",
+    "SPMV",
+    "SpmvDomain",
+    "SPMM",
+    "SpmmDomain",
+    "SpmmWorkload",
+    "DEFAULT_DOMAIN",
+]

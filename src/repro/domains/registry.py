@@ -1,0 +1,78 @@
+"""Global registry of problem domains.
+
+Domains register once (usually at import of :mod:`repro.domains`) and are
+resolved by name everywhere else — CLI flags, cache keys, pickled artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.domains.base import ProblemDomain, suggest_names
+
+_DOMAINS = {}
+
+#: Name of the domain used when callers do not specify one.
+DEFAULT_DOMAIN = "spmv"
+
+
+def register_domain(domain: ProblemDomain) -> ProblemDomain:
+    """Register ``domain`` under its name; duplicate names are an error."""
+    if not isinstance(domain, ProblemDomain):
+        raise TypeError(f"expected a ProblemDomain instance, got {domain!r}")
+    if not domain.name or domain.name == "abstract":
+        raise ValueError("domains must define a concrete 'name' to register")
+    if domain.name in _DOMAINS:
+        raise ValueError(f"domain {domain.name!r} is already registered")
+    _DOMAINS[domain.name] = domain
+    return domain
+
+
+def unregister_domain(name: str) -> None:
+    """Remove a registered domain (primarily for tests)."""
+    _DOMAINS.pop(name, None)
+
+
+def get_domain(domain) -> ProblemDomain:
+    """Resolve a domain name (or pass a domain instance through).
+
+    ``None`` resolves to the default (``"spmv"``) domain.  Instances are
+    additionally made resolvable *by name* for the rest of this process, so
+    pipeline stages that only carry the domain's name (cache artifacts, the
+    benchmark suite) work for instance-passed custom domains too.
+    """
+    if domain is None:
+        domain = DEFAULT_DOMAIN
+    if isinstance(domain, ProblemDomain):
+        return ensure_registered(domain)
+    if domain in _DOMAINS:
+        return _DOMAINS[domain]
+    raise KeyError(
+        f"unknown domain {domain!r}; expected one of {sorted(_DOMAINS)}"
+        + suggest_names(str(domain), _DOMAINS)
+    )
+
+
+def ensure_registered(domain: ProblemDomain) -> ProblemDomain:
+    """Make ``domain`` resolvable by name, tolerating re-registration.
+
+    Unlike :func:`register_domain` this is idempotent for the same instance;
+    it still refuses to silently shadow a *different* domain registered
+    under the same name.
+    """
+    existing = _DOMAINS.get(domain.name)
+    if existing is None:
+        _DOMAINS[domain.name] = domain
+    elif existing is not domain:
+        raise ValueError(
+            f"a different domain is already registered as {domain.name!r}"
+        )
+    return domain
+
+
+def domain_names() -> tuple:
+    """Registered domain names, in registration order."""
+    return tuple(_DOMAINS)
+
+
+def is_registered_instance(domain: ProblemDomain) -> bool:
+    """Whether ``domain`` is the instance registered under its name."""
+    return _DOMAINS.get(domain.name) is domain

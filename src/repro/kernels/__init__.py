@@ -22,13 +22,23 @@ from repro.kernels.csr_vector import CsrWarpMapped
 from repro.kernels.ell_thread import EllThreadMapped
 from repro.kernels.feature_kernels import FeatureCollectionResult, FeatureCollector
 from repro.kernels.registry import (
-    ALL_KERNEL_NAMES,
-    FIG5_KERNEL_NAMES,
-    KERNEL_CLASSES,
     default_kernels,
     kernel_names,
     make_kernel,
 )
+
+#: Registry constants re-exported lazily (PEP 562): they are views of the
+#: ``"spmv"`` domain's kernel registry, and resolving them eagerly here would
+#: import ``repro.domains`` during this package's own initialization.
+_REGISTRY_CONSTANTS = ("ALL_KERNEL_NAMES", "FIG5_KERNEL_NAMES", "KERNEL_CLASSES")
+
+
+def __getattr__(name: str):
+    if name in _REGISTRY_CONSTANTS:
+        from repro.kernels import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "KernelTiming",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -64,7 +65,7 @@ class KernelTiming:
     kernel: str
     preprocessing_ms: float
     iteration_ms: float
-    iteration_detail: LaunchResult = field(compare=False, default=None)
+    iteration_detail: Optional[LaunchResult] = field(compare=False, default=None)
 
     def total_ms(self, iterations: int = 1) -> float:
         """End-to-end time for ``iterations`` SpMV iterations."""

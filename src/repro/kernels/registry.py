@@ -1,59 +1,53 @@
-"""Registry of the SpMV kernel variants (Table II of the paper)."""
+"""Registry of the SpMV kernel variants (Table II of the paper).
+
+This module is now a thin compatibility shim over the ``"spmv"`` problem
+domain (:mod:`repro.domains.spmv`): the kernel set lives in the domain's
+decorator-based registry, and every helper here delegates to it.  Legacy
+imports — ``KERNEL_CLASSES``, ``FIG5_KERNEL_NAMES``, ``ALL_KERNEL_NAMES``,
+:func:`kernel_names`, :func:`make_kernel`, :func:`default_kernels` — keep
+working unchanged and resolve to exactly the same kernels in the same paper
+order.
+"""
 
 from __future__ import annotations
 
-from repro.gpu.device import DeviceSpec, MI100
-from repro.kernels.coo_warp import CooWarpMapped
-from repro.kernels.csr_adaptive import CsrAdaptive, RocSparseAdaptive
-from repro.kernels.csr_block import CsrBlockMapped
-from repro.kernels.csr_merge import CsrMergePath, CsrWorkOriented
-from repro.kernels.csr_scalar import CsrThreadMapped
-from repro.kernels.csr_vector import CsrWarpMapped
-from repro.kernels.ell_thread import EllThreadMapped
+from repro.gpu.device import MI100, DeviceSpec
 
-#: Kernel classes keyed by their paper label, in the order used by Fig. 5.
-KERNEL_CLASSES = {
-    CsrAdaptive.name: CsrAdaptive,
-    CsrBlockMapped.name: CsrBlockMapped,
-    CsrMergePath.name: CsrMergePath,
-    CsrWarpMapped.name: CsrWarpMapped,
-    CsrWorkOriented.name: CsrWorkOriented,
-    CsrThreadMapped.name: CsrThreadMapped,
-    CooWarpMapped.name: CooWarpMapped,
-    EllThreadMapped.name: EllThreadMapped,
-    RocSparseAdaptive.name: RocSparseAdaptive,
-}
 
-#: The eight kernels shown in the per-matrix plots of Fig. 5.
-FIG5_KERNEL_NAMES = (
-    "CSR,A",
-    "CSR,BM",
-    "CSR,MP",
-    "CSR,WM",
-    "CSR,WO",
-    "CSR,TM",
-    "COO,WM",
-    "ELL,TM",
-)
+def _domain():
+    """The registered ``"spmv"`` domain (resolved lazily to avoid import
+    cycles between this package and :mod:`repro.domains`)."""
+    from repro.domains import get_domain
 
-#: The full set, including the vendor library shown in Fig. 1 and Fig. 7.
-ALL_KERNEL_NAMES = FIG5_KERNEL_NAMES + ("rocSPARSE",)
+    return get_domain("spmv")
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy module attributes: the legacy constants are views of the
+    # domain registry, materialized on first access.
+    if name == "KERNEL_CLASSES":
+        return _domain().kernel_classes
+    if name == "FIG5_KERNEL_NAMES":
+        return _domain().kernel_names(include_aux=False)
+    if name == "ALL_KERNEL_NAMES":
+        return _domain().kernel_names(include_aux=True)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def kernel_names(include_rocsparse: bool = True) -> tuple:
     """Kernel labels in paper order."""
-    return ALL_KERNEL_NAMES if include_rocsparse else FIG5_KERNEL_NAMES
+    return _domain().kernel_names(include_aux=include_rocsparse)
 
 
-def make_kernel(name: str, device: DeviceSpec = MI100):
-    """Instantiate a kernel variant by its paper label."""
-    if name not in KERNEL_CLASSES:
-        raise KeyError(
-            f"unknown kernel {name!r}; expected one of {sorted(KERNEL_CLASSES)}"
-        )
-    return KERNEL_CLASSES[name](device)
+def make_kernel(name, device: DeviceSpec = MI100):
+    """Instantiate a kernel variant by its paper label.
+
+    Already-instantiated kernels pass through unchanged; unknown labels
+    raise :class:`KeyError` with close-match suggestions.
+    """
+    return _domain().make_kernel(name, device)
 
 
 def default_kernels(device: DeviceSpec = MI100, include_rocsparse: bool = True) -> list:
     """Instantiate the case-study kernel set in paper order."""
-    return [make_kernel(name, device) for name in kernel_names(include_rocsparse)]
+    return _domain().default_kernels(device, include_aux=include_rocsparse)

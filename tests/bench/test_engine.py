@@ -246,3 +246,95 @@ def test_engine_accepts_collection_profile_objects(tmp_path):
     assert sweep_config_key(
         custom, 7, 13, (1,), MI100, KERNELS
     ) != sweep_config_key("tiny", 7, 13, (1,), MI100, KERNELS)
+
+
+# ----------------------------------------------------------------------
+# Generated-matrix artifact tier
+# ----------------------------------------------------------------------
+def test_matrix_artifacts_survive_measurement_tier_loss(tmp_path):
+    populate = SweepEngine(jobs=1, cache_dir=tmp_path)
+    first = run_sweep(profile="tiny", iteration_counts=(1,), engine=populate)
+    assert populate.stats.matrices_generated == len(first.suite)
+    assert populate.stats.matrix_cache_hits == 0
+    assert list((tmp_path / "matrices").glob("*.npz"))
+
+    # Losing the measurement and sweep tiers (e.g. a code edit bumped the
+    # code version) must not force matrix regeneration.
+    shutil.rmtree(tmp_path / "measurements")
+    shutil.rmtree(tmp_path / "sweeps")
+    rebuild = SweepEngine(jobs=1, cache_dir=tmp_path)
+    second = run_sweep(profile="tiny", iteration_counts=(1,), engine=rebuild)
+    assert rebuild.stats.matrices_generated == 0
+    assert rebuild.stats.matrix_cache_hits == len(first.suite)
+    assert second.test_report.aggregate_table() == first.test_report.aggregate_table()
+
+
+def test_corrupt_matrix_artifact_is_regenerated(tmp_path):
+    populate = SweepEngine(jobs=1, cache_dir=tmp_path)
+    first = run_sweep(profile="tiny", iteration_counts=(1,), engine=populate)
+    for artifact in (tmp_path / "matrices").glob("*.npz"):
+        artifact.write_bytes(b"not an npz")
+    shutil.rmtree(tmp_path / "measurements")
+    shutil.rmtree(tmp_path / "sweeps")
+
+    retry = SweepEngine(jobs=1, cache_dir=tmp_path)
+    second = run_sweep(profile="tiny", iteration_counts=(1,), engine=retry)
+    assert retry.stats.matrix_cache_hits == 0
+    assert retry.stats.matrices_generated == len(first.suite)
+    assert second.test_report.aggregate_table() == first.test_report.aggregate_table()
+
+
+def test_matrix_roundtrips_through_npz():
+    from repro.bench.engine import matrix_from_bytes, matrix_to_bytes
+    from repro.sparse import generators as gen
+
+    matrix = gen.power_law_matrix(50, 40, 4.0, rng=3)
+    restored = matrix_from_bytes(matrix_to_bytes(matrix))
+    assert restored.shape == matrix.shape
+    assert (restored.row_offsets == matrix.row_offsets).all()
+    assert (restored.col_indices == matrix.col_indices).all()
+    assert (restored.values == matrix.values).all()
+
+
+def test_matrix_key_ignores_name_but_not_recipe():
+    from repro.bench.engine import matrix_key
+
+    spec_a, spec_b = collection_specs("tiny")[:2]
+    renamed = type(spec_a)(
+        name="renamed",
+        family=spec_a.family,
+        builder=spec_a.builder,
+        params=spec_a.params,
+        seed=spec_a.seed,
+    )
+    assert matrix_key(spec_a) == matrix_key(renamed)
+    assert matrix_key(spec_a) != matrix_key(spec_b)
+
+
+def test_measurement_keys_differ_across_domains():
+    spec = collection_specs("tiny")[0]
+    assert measurement_key(spec, KERNELS, MI100, "spmv") != measurement_key(
+        spec, KERNELS, MI100, "spmm"
+    )
+
+
+def test_sweep_config_key_differs_across_domains():
+    base = dict(
+        profile="tiny",
+        seed=7,
+        split_seed=13,
+        iteration_counts=DEFAULT_ITERATION_COUNTS,
+        device=MI100,
+        kernel_labels=KERNELS,
+    )
+    assert sweep_config_key(**base, domain="spmv") != sweep_config_key(**base, domain="spmm")
+
+
+def test_truncated_zip_matrix_artifact_is_regenerated(tmp_path):
+    from repro.bench.engine import _load_matrix_artifact
+
+    # Keeps the zip magic but is truncated: np.load raises BadZipFile, which
+    # must read as a cache miss, never a crash.
+    artifact = tmp_path / "bad.npz"
+    artifact.write_bytes(b"PK\x03\x04" + b"\x00" * 16)
+    assert _load_matrix_artifact(artifact) is None
