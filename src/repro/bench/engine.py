@@ -371,6 +371,15 @@ class SweepEngine:
         self.chunks_per_job = max(1, chunks_per_job)
         self.stats = EngineStats()
 
+    def describe(self) -> dict:
+        """Configuration plus activity counters, for logs and manifests."""
+        return {
+            "jobs": self.jobs,
+            "cache_dir": str(self.cache_dir) if self.cache_dir is not None else None,
+            "chunks_per_job": self.chunks_per_job,
+            "stats": self.stats.as_dict(),
+        }
+
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------

@@ -150,6 +150,25 @@ class EvaluationReport:
         """Aggregate time of an approach divided by the Oracle's."""
         return self.aggregate_ms(approach) / self.aggregate_ms("Oracle")
 
+    def summary(self) -> dict:
+        """Headline metrics of the report, as one JSON-able dict.
+
+        These are the numbers Section IV quotes (accuracies, speedup over
+        the best single kernel, geometric-mean speedup over all kernels,
+        slowdown against the Oracle); experiment manifests and the accuracy
+        table reuse this instead of re-deriving each metric.
+        """
+        return {
+            "samples": len(self.rows),
+            "known_accuracy": self.accuracy("Known"),
+            "gathered_accuracy": self.accuracy("Gathered"),
+            "selector_kernel_accuracy": self.accuracy("Selector"),
+            "selector_choice_accuracy": self.selector_choice_accuracy(),
+            "selector_speedup_vs_best_kernel": self.speedup_vs_best_single_kernel(),
+            "selector_geomean_speedup_vs_kernels": self.geomean_speedup_vs_kernels(),
+            "selector_slowdown_vs_oracle": self.slowdown_vs_oracle(),
+        }
+
 
 def predictor_path_time_ms(
     sample: TrainingSample, kernel: str, overhead_ms: float = 0.0

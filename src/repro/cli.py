@@ -1,24 +1,25 @@
 """Command-line interface for the Seer reproduction.
 
 ``repro`` (also installed as ``seer-repro``, or ``python -m repro``) exposes
-the pipeline stages and the per-figure experiment drivers:
+the pipeline stages and the experiment suite:
 
 .. code-block:: console
 
    repro sweep --profile small --output-dir out/   # benchmark + train
    repro sweep --profile medium --jobs 8 --cache-dir ~/.cache/seer
-   repro fig1                                      # Fig. 1 series
+   repro experiments list                          # registered experiments
+   repro experiments run --all --domain spmv --profile tiny --out-dir out/
+   repro experiments run fig1 table3 --domain spmm --profile tiny
+   repro fig1                                      # legacy per-figure entry
    repro fig5 --profile full                       # Fig. 5 a-d
-   repro fig6                                      # Fig. 6 series
-   repro fig7                                      # Fig. 7 panels
-   repro table1                                    # Table I
-   repro table3                                    # Table III
    repro accuracy                                  # Section IV-C numbers
 
 ``--jobs`` fans the benchmarking stage out over worker processes and
 ``--cache-dir`` persists per-matrix measurements and whole sweep artifacts,
-so repeated invocations (and different experiment drivers sharing one
-configuration) skip the benchmarking work entirely.
+so repeated invocations (and different experiments sharing one
+configuration) skip the benchmarking work entirely.  ``--out-dir`` writes
+each experiment's structured artifacts (``data.csv`` + ``manifest.json``)
+under ``<out>/<domain>/<experiment>/``.
 """
 
 from __future__ import annotations
@@ -31,17 +32,15 @@ from repro.bench.engine import SweepEngine, engine_from_env
 from repro.bench.runner import run_sweep
 from repro.core.codegen import write_cpp_header, write_python_module
 from repro.domains import DEFAULT_DOMAIN, domain_names
-from repro.experiments import (
-    run_accuracy_table,
-    run_fig1,
-    run_fig5,
-    run_fig6,
-    run_fig7,
-    run_table1,
-    run_table3,
-)
-from repro.experiments import common as experiments_common
 from repro.experiments.common import DEFAULT_PROFILE
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment_names,
+    experiments_for,
+    get_experiment,
+    run_experiment,
+    write_artifact,
+)
 from repro.sparse.collection import PROFILE_NAMES
 
 
@@ -102,6 +101,20 @@ def _resolve_engine(args) -> SweepEngine:
         raise SystemExit(f"repro: error: {error}") from None
 
 
+def _engine_status_line(engine: SweepEngine) -> str:
+    """One-line summary of what an engine did (parallelism + cache tiers)."""
+    stats = engine.stats
+    if engine.cache_dir is None:
+        cache_state = "off"
+    else:
+        cache_state = "hit" if stats.sweep_cache_hits else "miss"
+    return (
+        f"engine: jobs={engine.jobs} measured={stats.matrices_measured} "
+        f"measurement-cache-hits={stats.measurement_cache_hits} "
+        f"sweep-cache={cache_state}"
+    )
+
+
 def _cmd_sweep(args) -> int:
     engine = _resolve_engine(args)
     sweep = run_sweep(profile=args.profile, engine=engine, domain=args.domain)
@@ -115,16 +128,7 @@ def _cmd_sweep(args) -> int:
     print(f"selector routing accuracy: {report.selector_choice_accuracy():.2f}")
     print(f"selector slowdown vs Oracle: {report.slowdown_vs_oracle():.2f}x")
     if engine is not None:
-        stats = engine.stats
-        if engine.cache_dir is None:
-            cache_state = "off"
-        else:
-            cache_state = "hit" if stats.sweep_cache_hits else "miss"
-        print(
-            f"engine: jobs={engine.jobs} measured={stats.matrices_measured} "
-            f"measurement-cache-hits={stats.measurement_cache_hits} "
-            f"sweep-cache={cache_state}"
-        )
+        print(_engine_status_line(engine))
     if args.output_dir:
         output = Path(args.output_dir)
         sweep.suite.save(output)
@@ -134,13 +138,74 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_experiment(runner, needs_profile=True):
+# ----------------------------------------------------------------------
+# The experiment suite
+# ----------------------------------------------------------------------
+def _cmd_experiments_list(args) -> int:
+    for name in experiment_names():
+        spec = get_experiment(name)
+        domains = "all domains" if spec.domains is None else ", ".join(spec.domains)
+        sweep_note = "" if spec.needs_sweep else " (no sweep needed)"
+        print(f"{spec.name:<18} {spec.title} [{domains}]{sweep_note}")
+    return 0
+
+
+def _select_specs(args):
+    """Experiment specs named on the command line, validated for the domain."""
+    if args.all and args.names:
+        raise SystemExit("repro: error: give experiment names or --all, not both")
+    if args.all:
+        return experiments_for(args.domain)
+    if not args.names:
+        raise SystemExit(
+            "repro: error: name at least one experiment or pass --all "
+            f"(registered: {', '.join(experiment_names())})"
+        )
+    specs = []
+    for name in args.names:
+        try:
+            spec = get_experiment(name)
+        except KeyError as error:
+            raise SystemExit(f"repro: error: {error.args[0]}") from None
+        if not spec.supports(args.domain):
+            supported = (
+                "restricted" if spec.domains is None else ", ".join(spec.domains)
+            )
+            raise SystemExit(
+                f"repro: error: experiment {name!r} does not support domain "
+                f"{args.domain!r} (supported: {supported})"
+            )
+        specs.append(spec)
+    return specs
+
+
+def _cmd_experiments_run(args) -> int:
+    specs = _select_specs(args)
+    context = ExperimentContext(
+        domain=args.domain, profile=args.profile, engine=_resolve_engine(args)
+    )
+    engine = context.engine
+    for spec in specs:
+        result = run_experiment(spec, context)
+        print(result.render())
+        if args.out_dir:
+            paths = write_artifact(spec, context, result, args.out_dir)
+            print(f"[{spec.name}] wrote {paths['data']} and {paths['manifest']}")
+        print()
+    if engine is not None:
+        print(_engine_status_line(engine))
+    return 0
+
+
+def _cmd_experiment(name: str):
+    """Legacy single-experiment command (``repro fig1`` etc.)."""
+
     def command(args) -> int:
-        experiments_common.set_default_engine(_resolve_engine(args))
-        if needs_profile:
-            result = runner(profile=args.profile)
-        else:
-            result = runner()
+        context = ExperimentContext(
+            profile=getattr(args, "profile", DEFAULT_PROFILE),
+            engine=_resolve_engine(args),
+        )
+        result = run_experiment(name, context)
         print(result.render())
         return 0
 
@@ -162,21 +227,51 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--output-dir", default=None, help="directory for CSVs and generated headers")
     sweep.set_defaults(func=_cmd_sweep)
 
-    experiments = {
-        "fig1": (run_fig1, True, "fastest-kernel-per-matrix survey (Fig. 1)"),
-        "fig5": (run_fig5, True, "single-iteration predictor comparison (Fig. 5)"),
-        "fig6": (run_fig6, False, "feature-collection cost sweep (Fig. 6)"),
-        "fig7": (run_fig7, True, "multi-iteration amortization study (Fig. 7)"),
-        "table1": (run_table1, False, "capability comparison (Table I)"),
-        "table3": (run_table3, True, "Kendall correlations (Table III)"),
-        "accuracy": (run_accuracy_table, True, "model accuracies (Section IV-C)"),
+    experiments = sub.add_parser(
+        "experiments", help="list or run the registered experiment suite"
+    )
+    experiments_sub = experiments.add_subparsers(
+        dest="experiments_command", required=True
+    )
+    list_parser = experiments_sub.add_parser(
+        "list", help="show every registered experiment and its domains"
+    )
+    list_parser.set_defaults(func=_cmd_experiments_list)
+    run_parser = experiments_sub.add_parser(
+        "run", help="run experiments for one domain, optionally writing artifacts"
+    )
+    run_parser.add_argument(
+        "names", nargs="*", metavar="EXPERIMENT",
+        help="experiments to run (see 'repro experiments list')",
+    )
+    run_parser.add_argument(
+        "--all", action="store_true",
+        help="run every experiment the domain supports",
+    )
+    _add_domain(run_parser)
+    _add_profile(run_parser)
+    _add_engine_options(run_parser)
+    run_parser.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="write data.csv + manifest.json per experiment under DIR/<domain>/<name>/",
+    )
+    run_parser.set_defaults(func=_cmd_experiments_run)
+
+    legacy = {
+        "fig1": (True, "fastest-kernel-per-matrix survey (Fig. 1)"),
+        "fig5": (True, "single-iteration predictor comparison (Fig. 5)"),
+        "fig6": (False, "feature-collection cost sweep (Fig. 6)"),
+        "fig7": (True, "multi-iteration amortization study (Fig. 7)"),
+        "table1": (False, "capability comparison (Table I)"),
+        "table3": (True, "Kendall correlations (Table III)"),
+        "accuracy": (True, "model accuracies (Section IV-C)"),
     }
-    for name, (runner, needs_profile, help_text) in experiments.items():
+    for name, (needs_profile, help_text) in legacy.items():
         sub_parser = sub.add_parser(name, help=help_text)
         if needs_profile:
             _add_profile(sub_parser)
         _add_engine_options(sub_parser)
-        sub_parser.set_defaults(func=_cmd_experiment(runner, needs_profile))
+        sub_parser.set_defaults(func=_cmd_experiment(name))
     return parser
 
 

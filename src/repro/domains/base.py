@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import difflib
+import numbers
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -40,11 +41,31 @@ from repro.gpu.device import MI100, DeviceSpec
 #: rather than extracted from the workload.
 ITERATIONS_FIELD = "iterations"
 
+#: Average row length of the default cost-scaling workloads (mildly
+#: irregular, FEM-like) — the Fig. 6 sweep of the paper.
+SCALING_AVG_ROW_LENGTH = 8.0
 
-def _jsonable(value):
-    """Recursively convert tuples to lists so payloads JSON-serialize."""
+#: Power-law exponent of the default cost-scaling workloads.
+SCALING_EXPONENT = 2.4
+
+
+def jsonable(value):
+    """Recursively coerce containers and numpy scalars to plain JSON types.
+
+    Tuples become lists, numpy integers/floats become their Python
+    equivalents (bools and strings pass through untouched), so spec payloads
+    and artifact manifests serialize with the standard ``json`` module.
+    """
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
     if isinstance(value, (tuple, list)):
-        return [_jsonable(item) for item in value]
+        return [jsonable(item) for item in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
     return value
 
 
@@ -56,7 +77,7 @@ def spec_payload(spec) -> dict:
     ``num_vectors``) can never collide in a cache key.
     """
     return {
-        f.name: _jsonable(getattr(spec, f.name))
+        f.name: jsonable(getattr(spec, f.name))
         for f in dataclasses.fields(spec)
     }
 
@@ -204,6 +225,9 @@ class ProblemDomain:
     gathered_fields: tuple = ()
     #: Iteration counts the default training corpus expands over.
     default_iteration_counts: tuple = (1, 4, 19)
+    #: Kernel label the feature-cost study (Fig. 6) compares collection
+    #: against; ``None`` disables the study for the domain.
+    feature_cost_kernel: Optional[str] = None
 
     def __init__(self):
         self._kernel_classes = {}
@@ -444,6 +468,15 @@ class ProblemDomain:
     def build_workload(self, spec):
         """Build one spec's complete workload."""
         return self.workload_from_matrix(spec, self.spec_matrix(spec))
+
+    def scaling_workload(self, num_rows: int, seed: int = 0):
+        """A representative workload at a given row count.
+
+        Used by the cost-scaling studies (feature-collection cost vs. kernel
+        runtime as the problem grows, the paper's Fig. 6) to sweep problem
+        sizes without going through a collection profile.
+        """
+        raise NotImplementedError
 
     def iter_collection(self, profile="small", base_seed: int = 7):
         """Yield named workload records one at a time (low peak memory)."""

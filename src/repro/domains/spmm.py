@@ -74,6 +74,10 @@ SPMM_FAMILIES = (
 #: Dense right-hand-side widths each matrix recipe is crossed with.
 NUM_VECTORS_GRID = (4, 32)
 
+#: Denser ``num_vectors`` grid swept by the SpMM amortization study
+#: (feature-collection cost vs. dense block width).
+AMORTIZATION_VECTOR_GRID = (1, 2, 4, 8, 16, 32, 64)
+
 
 @dataclass(frozen=True)
 class SpmmWorkload:
@@ -507,6 +511,11 @@ class SpmmDomain(ProblemDomain):
         FeatureField(name) for name in SPMM_GATHERED_NAMES
     )
     default_iteration_counts = (1, 4, 19)
+    #: Reference kernel of the feature-cost scaling study: the work-oriented
+    #: schedule runs on any structure, so the comparison is always defined.
+    feature_cost_kernel = "CSR,WO"
+    #: Dense block width of the default cost-scaling workloads.
+    scaling_num_vectors = 8
 
     def _populate_kernels(self) -> None:
         for kernel_cls in (
@@ -551,6 +560,19 @@ class SpmmDomain(ProblemDomain):
 
     def workload_from_matrix(self, spec, matrix) -> SpmmWorkload:
         return SpmmWorkload(matrix=matrix, num_vectors=spec.num_vectors)
+
+    def scaling_workload(self, num_rows: int, seed: int = 0) -> SpmmWorkload:
+        from repro.domains.base import SCALING_AVG_ROW_LENGTH, SCALING_EXPONENT
+        from repro.sparse.generators import power_law_matrix
+
+        matrix = power_law_matrix(
+            num_rows=num_rows,
+            num_cols=num_rows,
+            avg_row_length=SCALING_AVG_ROW_LENGTH,
+            exponent=SCALING_EXPONENT,
+            rng=seed,
+        )
+        return SpmmWorkload(matrix=matrix, num_vectors=self.scaling_num_vectors)
 
     def iter_collection(self, profile="small", base_seed: int = 7):
         """Yield workload records, building each matrix recipe only once.

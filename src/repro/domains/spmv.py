@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from dataclasses import asdict
 
-from repro.domains.base import FeatureField, ProblemDomain
+from repro.domains.base import (
+    SCALING_AVG_ROW_LENGTH,
+    SCALING_EXPONENT,
+    FeatureField,
+    ProblemDomain,
+)
 from repro.gpu.device import MI100, DeviceSpec
 from repro.sparse import collection as sparse_collection
 from repro.sparse.features import GatheredFeatures, KnownFeatures, known_features
@@ -39,6 +44,8 @@ class SpmvDomain(ProblemDomain):
         FeatureField("var_row_density", description="variance of row nnz / cols"),
     )
     default_iteration_counts = (1, 4, 19)
+    #: The paper's Fig. 6 compares collection cost against CSR,BM.
+    feature_cost_kernel = "CSR,BM"
 
     # ------------------------------------------------------------------
     # Kernels — registered lazily to keep repro.domains importable without
@@ -124,6 +131,17 @@ class SpmvDomain(ProblemDomain):
 
     def collection_specs(self, profile="small", base_seed: int = 7) -> list:
         return sparse_collection.collection_specs(profile, base_seed)
+
+    def scaling_workload(self, num_rows: int, seed: int = 0):
+        from repro.sparse.generators import power_law_matrix
+
+        return power_law_matrix(
+            num_rows=num_rows,
+            num_cols=num_rows,
+            avg_row_length=SCALING_AVG_ROW_LENGTH,
+            exponent=SCALING_EXPONENT,
+            rng=seed,
+        )
 
 
 #: The registered ``"spmv"`` domain singleton.

@@ -1,20 +1,48 @@
-"""Experiment drivers: one module per table/figure of the paper's evaluation.
+"""Experiment suite: one module per table/figure of the paper's evaluation.
 
-Each driver returns a structured result object and can print the rows or
-series the corresponding table/figure reports.  The benchmark harness under
-``benchmarks/`` calls these drivers; ``python -m repro <experiment>`` runs
-them from the command line.
+Each driver returns a structured result object that can print the rows or
+series the corresponding table/figure reports (``render()``) and convert to
+a CSV-able table (``to_artifact()``).  Importing this package registers
+every experiment with the :mod:`repro.experiments.registry`, mirroring the
+domain/kernel registries; ``repro experiments list`` / ``repro experiments
+run --domain NAME`` drive the suite from the command line, and the benchmark
+harness under ``benchmarks/`` calls the drivers directly.
 """
 
-from repro.experiments.accuracy_table import AccuracyResult, run_accuracy_table
+from repro.experiments.registry import (
+    ExperimentArtifact,
+    ExperimentContext,
+    ExperimentSpec,
+    experiment_names,
+    experiments_for,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+    write_artifact,
+)
+# Imported in paper order — experiment registration order follows.
 from repro.experiments.fig1_best_kernel import Fig1Result, run_fig1
 from repro.experiments.fig5_single_iteration import Fig5Result, run_fig5
 from repro.experiments.fig6_feature_cost import Fig6Result, run_fig6
 from repro.experiments.fig7_multi_iteration import Fig7Result, run_fig7
 from repro.experiments.table1_features import Table1Result, run_table1
 from repro.experiments.table3_kendall import Table3Result, run_table3
+from repro.experiments.accuracy_table import AccuracyResult, run_accuracy_table
+from repro.experiments.spmm_amortization import (
+    SpmmAmortizationResult,
+    run_spmm_amortization,
+)
 
 __all__ = [
+    "ExperimentArtifact",
+    "ExperimentContext",
+    "ExperimentSpec",
+    "experiment_names",
+    "experiments_for",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
+    "write_artifact",
     "AccuracyResult",
     "run_accuracy_table",
     "Fig1Result",
@@ -25,6 +53,8 @@ __all__ = [
     "run_fig6",
     "Fig7Result",
     "run_fig7",
+    "SpmmAmortizationResult",
+    "run_spmm_amortization",
     "Table1Result",
     "run_table1",
     "Table3Result",

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import DEFAULT_PROFILE, format_table, resolve_sweep
+from repro.experiments.registry import ExperimentArtifact, register_experiment
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,25 @@ class AccuracyResult:
             ["model", "accuracy", "aggregate slowdown vs Oracle - 1"], self.to_rows()
         )
 
+    def to_artifact(self) -> ExperimentArtifact:
+        """Structured output: one row per predictor, full precision."""
+        return ExperimentArtifact(
+            columns=("model", "accuracy", "error_vs_oracle"),
+            rows=[
+                ("Known", self.known_accuracy, self.known_error_vs_oracle),
+                ("Gathered", self.gathered_accuracy, self.gathered_error_vs_oracle),
+                (
+                    "Classifier selection",
+                    self.selector_accuracy,
+                    self.selector_error_vs_oracle,
+                ),
+            ],
+            summary={
+                "test_samples": self.test_samples,
+                "selector_kernel_accuracy": self.selector_kernel_accuracy,
+            },
+        )
+
 
 def run_accuracy_table(profile: str = DEFAULT_PROFILE, sweep=None) -> AccuracyResult:
     """Compute the three predictor accuracies on the held-out split."""
@@ -74,3 +94,13 @@ def run_accuracy_table(profile: str = DEFAULT_PROFILE, sweep=None) -> AccuracyRe
         selector_error_vs_oracle=report.slowdown_vs_oracle("Selector") - 1.0,
         test_samples=len(report.rows),
     )
+
+
+@register_experiment(
+    "accuracy",
+    title="Model accuracies (Section IV-C)",
+    description="known/gathered/selector accuracy and Oracle-relative error "
+    "on the held-out test split",
+)
+def _accuracy_experiment(context) -> AccuracyResult:
+    return run_accuracy_table(profile=context.profile, sweep=context.sweep())

@@ -1,4 +1,10 @@
-"""Shared infrastructure for the experiment drivers."""
+"""Shared infrastructure for the experiment drivers.
+
+The per-process sweep cache here serves the legacy free-function entry
+points (``run_fig1(profile=...)`` and friends).  Suite-level runs go through
+:class:`repro.experiments.registry.ExperimentContext`, which additionally
+resolves a domain and shares one sweep across every experiment of a run.
+"""
 
 from __future__ import annotations
 

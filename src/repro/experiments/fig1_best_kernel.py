@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.common import DEFAULT_PROFILE, format_table, resolve_sweep
+from repro.experiments.registry import ExperimentArtifact, register_experiment
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,21 @@ class Fig1Result:
         )
         return header + summary
 
+    def to_artifact(self) -> ExperimentArtifact:
+        """Structured output: one row per matrix, full precision."""
+        return ExperimentArtifact(
+            columns=("name", "nnz", "fastest_kernel", "fastest_runtime_ms"),
+            rows=[
+                (p.name, p.nnz, p.fastest_kernel, p.fastest_runtime_ms)
+                for p in sorted(self.points, key=lambda p: p.nnz)
+            ],
+            summary={
+                "matrices": len(self.points),
+                "distinct_winners": self.distinct_winners,
+                "winner_counts": dict(self.winner_counts),
+            },
+        )
+
 
 def run_fig1(profile: str = DEFAULT_PROFILE, sweep=None) -> Fig1Result:
     """Regenerate the Fig. 1 series on the synthetic collection."""
@@ -73,3 +89,12 @@ def run_fig1(profile: str = DEFAULT_PROFILE, sweep=None) -> Fig1Result:
         )
         result.winner_counts[winner] = result.winner_counts.get(winner, 0) + 1
     return result
+
+
+@register_experiment(
+    "fig1",
+    title="Fastest kernel per matrix (Fig. 1)",
+    description="one point per workload: nonzeros, winning kernel, winning runtime",
+)
+def _fig1_experiment(context) -> Fig1Result:
+    return run_fig1(profile=context.profile, sweep=context.sweep())

@@ -15,11 +15,11 @@ the synthetic collection's held-out test split at one iteration.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.bench.evaluation import EvaluationReport
 from repro.experiments.common import DEFAULT_PROFILE, format_table, resolve_sweep
+from repro.experiments.registry import ExperimentArtifact, register_experiment
 from repro.kernels.base import UnsupportedKernelError
 from repro.kernels.registry import default_kernels
 from repro.sparse.collection import archetype
@@ -102,6 +102,24 @@ class Fig5Result:
             + f"\nselector slowdown vs Oracle: {self.slowdown_vs_oracle:.3f}x"
         )
         return "\n\n".join(sections)
+
+    def to_artifact(self) -> ExperimentArtifact:
+        """Structured output: per-matrix study bars plus the aggregate bars."""
+        rows = []
+        for study in self.studies:
+            for bar in study.bars:
+                rows.append((study.name, bar.label, bar.total_ms, bar.overhead_ms))
+        for label, value in self.aggregate.items():
+            rows.append(("aggregate", label, value, ""))
+        return ExperimentArtifact(
+            columns=("section", "label", "total_ms", "overhead_ms"),
+            rows=rows,
+            summary={
+                "speedup_vs_best_kernel": self.speedup_vs_best_kernel,
+                "geomean_speedup_vs_kernels": self.geomean_speedup_vs_kernels,
+                "slowdown_vs_oracle": self.slowdown_vs_oracle,
+            },
+        )
 
 
 def _study_for_matrix(record, sweep) -> Fig5MatrixStudy:
@@ -195,3 +213,19 @@ def run_fig5(
     result.geomean_speedup_vs_kernels = report.geomean_speedup_vs_kernels("Selector")
     result.slowdown_vs_oracle = report.slowdown_vs_oracle("Selector")
     return result
+
+
+@register_experiment(
+    "fig5",
+    title="Single-iteration predictor comparison (Fig. 5)",
+    description="predictors vs. individual kernels; per-matrix archetype "
+    "studies (SpMV only) plus the aggregate bars",
+)
+def _fig5_experiment(context) -> Fig5Result:
+    # The three per-matrix studies are built from named SpMV archetypes; for
+    # every other domain the aggregate panel (Fig. 5d) is what generalizes.
+    return run_fig5(
+        profile=context.profile,
+        sweep=context.sweep(),
+        include_studies=context.domain.name == "spmv",
+    )

@@ -6,23 +6,40 @@ small matrices collection costs as much as (or more than) the SpMV itself —
 so collecting features for a single-iteration run cannot pay off — while
 past roughly 10^5 rows the kernel runtime grows faster than the collection
 cost and gathering becomes affordable.
+
+The study is domain-parameterized: every domain names its reference kernel
+(:attr:`~repro.domains.ProblemDomain.feature_cost_kernel`) and builds its
+cost-scaling workloads (:meth:`~repro.domains.ProblemDomain.scaling_workload`);
+the default ``"spmv"`` configuration reproduces the paper's figure exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.domains import get_domain
+from repro.domains.base import SCALING_AVG_ROW_LENGTH
 from repro.experiments.common import format_table
+from repro.experiments.registry import ExperimentArtifact, register_experiment
 from repro.gpu.device import MI100
-from repro.kernels.csr_block import CsrBlockMapped
-from repro.kernels.feature_kernels import FeatureCollector
-from repro.sparse.generators import power_law_matrix
 
 #: Row counts of the sweep (the paper sweeps roughly 10 to 10^7 rows).
 DEFAULT_ROW_COUNTS = (10, 100, 1_000, 10_000, 100_000, 1_000_000, 4_000_000)
 
+#: Reduced sweep used by suite runs on the small collection profiles: it
+#: still brackets the ~10^5-row crossover, but drops the 4M-row point whose
+#: generation alone costs seconds.
+REDUCED_ROW_COUNTS = (10, 100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+def row_counts_for_profile(profile: str) -> tuple:
+    """Row grid matching a collection profile's size budget."""
+    if profile in ("tiny", "small"):
+        return REDUCED_ROW_COUNTS
+    return DEFAULT_ROW_COUNTS
+
 #: Average row length of the sweep matrices (mildly irregular, FEM-like).
-SWEEP_AVG_ROW_LENGTH = 8.0
+SWEEP_AVG_ROW_LENGTH = SCALING_AVG_ROW_LENGTH
 
 
 @dataclass(frozen=True)
@@ -45,6 +62,7 @@ class Fig6Result:
     """The two series of Fig. 6 plus the crossover estimate."""
 
     points: list = field(default_factory=list)
+    kernel_name: str = "CSR,BM"
 
     def crossover_rows(self) -> float:
         """Smallest swept row count where the kernel outweighs collection.
@@ -57,7 +75,7 @@ class Fig6Result:
         return float("inf")
 
     def to_rows(self) -> list:
-        """Rows (rows, nnz, collection_ms, CSR,BM ms, collection dominates)."""
+        """Rows (rows, nnz, collection_ms, kernel ms, collection dominates)."""
         return [
             (
                 p.rows,
@@ -72,37 +90,83 @@ class Fig6Result:
     def render(self) -> str:
         """Printable Fig. 6 series."""
         return (
-            "Fig. 6 — feature-collection cost vs CSR,BM runtime\n"
+            f"Fig. 6 — feature-collection cost vs {self.kernel_name} runtime\n"
             + format_table(
-                ["rows", "nnz", "collection ms", "CSR,BM ms", "collection >= kernel"],
+                [
+                    "rows",
+                    "nnz",
+                    "collection ms",
+                    f"{self.kernel_name} ms",
+                    "collection >= kernel",
+                ],
                 self.to_rows(),
             )
             + f"\ncrossover at ~{self.crossover_rows():.0f} rows "
             "(paper: ~100,000 rows)"
         )
 
-
-def run_fig6(row_counts=DEFAULT_ROW_COUNTS, device=MI100, seed: int = 5) -> Fig6Result:
-    """Sweep matrix sizes and compare collection cost with CSR,BM runtime."""
-    collector = FeatureCollector(device)
-    kernel = CsrBlockMapped(device)
-    result = Fig6Result()
-    for index, rows in enumerate(row_counts):
-        matrix = power_law_matrix(
-            num_rows=int(rows),
-            num_cols=int(rows),
-            avg_row_length=SWEEP_AVG_ROW_LENGTH,
-            exponent=2.4,
-            rng=seed + index,
+    def to_artifact(self) -> ExperimentArtifact:
+        """Structured output: one row per swept size, full precision."""
+        return ExperimentArtifact(
+            columns=("rows", "nnz", "collection_ms", "kernel_ms", "collection_dominates"),
+            rows=[
+                (
+                    p.rows,
+                    p.nnz,
+                    p.collection_ms,
+                    p.kernel_ms,
+                    "yes" if p.collection_dominates else "no",
+                )
+                for p in sorted(self.points, key=lambda p: p.rows)
+            ],
+            summary={
+                "kernel": self.kernel_name,
+                "crossover_rows": self.crossover_rows(),
+            },
         )
-        collection_ms = collector.collection_time_ms(matrix)
-        kernel_ms = kernel.timing(matrix).iteration_ms
+
+
+def run_fig6(
+    row_counts=DEFAULT_ROW_COUNTS, device=MI100, seed: int = 5, domain=None
+) -> Fig6Result:
+    """Sweep workload sizes and compare collection cost with a kernel's runtime."""
+    domain = get_domain(domain)
+    if domain.feature_cost_kernel is None:
+        raise ValueError(
+            f"domain {domain.name!r} declares no feature_cost_kernel; the "
+            "feature-cost study is undefined for it"
+        )
+    collector = domain.make_collector(device)
+    kernel = domain.make_kernel(domain.feature_cost_kernel, device)
+    result = Fig6Result(kernel_name=kernel.name)
+    for index, rows in enumerate(row_counts):
+        workload = domain.scaling_workload(int(rows), seed=seed + index)
+        collection_ms = collector.collection_time_ms(workload)
+        kernel_ms = kernel.timing(workload).iteration_ms
         result.points.append(
             Fig6Point(
                 rows=int(rows),
-                nnz=matrix.nnz,
+                nnz=workload.nnz,
                 collection_ms=collection_ms,
                 kernel_ms=kernel_ms,
             )
         )
     return result
+
+
+@register_experiment(
+    "fig6",
+    title="Feature-collection cost sweep (Fig. 6)",
+    needs_sweep=False,
+    description="collection cost vs. the domain's reference kernel as the "
+    "workload grows; crossover marks where gathering becomes affordable",
+    # Only defined for domains that name a reference kernel (and therefore
+    # implement scaling_workload); others are filtered out of the suite.
+    predicate=lambda domain: domain.feature_cost_kernel is not None,
+)
+def _fig6_experiment(context) -> Fig6Result:
+    return run_fig6(
+        row_counts=row_counts_for_profile(context.profile),
+        device=context.device,
+        domain=context.domain,
+    )

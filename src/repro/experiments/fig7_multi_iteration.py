@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.experiments.common import DEFAULT_PROFILE, format_table, resolve_sweep
+from repro.experiments.registry import ExperimentArtifact, register_experiment
 from repro.kernels.base import UnsupportedKernelError
 from repro.kernels.registry import default_kernels
 from repro.sparse.collection import archetype
@@ -115,6 +116,26 @@ class Fig7Result:
         )
         return "\n\n".join(sections)
 
+    def to_artifact(self) -> ExperimentArtifact:
+        """Structured output: one row per (matrix, iterations, approach/kernel)."""
+        rows = []
+        for case in self.cases:
+            rows.append((case.name, case.iterations, "Oracle", case.oracle_kernel, case.oracle_ms))
+            rows.append(
+                (case.name, case.iterations, "Selector", case.selector_kernel, case.selector_ms)
+            )
+            rows.append(
+                (case.name, case.iterations, "Gathered", case.gathered_kernel, case.gathered_ms)
+            )
+            rows.append((case.name, case.iterations, "Known", case.known_kernel, case.known_ms))
+            for kernel, total in case.kernel_totals_ms.items():
+                rows.append((case.name, case.iterations, kernel, kernel, total))
+        return ExperimentArtifact(
+            columns=("name", "iterations", "approach", "kernel", "total_ms"),
+            rows=rows,
+            summary={"amortization_flips": self.amortization_flips()},
+        )
+
 
 def _case_for(record, iterations: int, sweep) -> Fig7Case:
     matrix = record.matrix
@@ -171,3 +192,14 @@ def run_fig7(profile: str = DEFAULT_PROFILE, sweep=None, scales=None) -> Fig7Res
         for iterations in FIG7_ITERATIONS:
             result.cases.append(_case_for(record, iterations, sweep))
     return result
+
+
+@register_experiment(
+    "fig7",
+    title="Multi-iteration amortization study (Fig. 7)",
+    domains=("spmv",),
+    description="named SpMV archetypes at 1 and 19 iterations; which "
+    "matrices amortize a preprocessing stage",
+)
+def _fig7_experiment(context) -> Fig7Result:
+    return run_fig7(profile=context.profile, sweep=context.sweep())

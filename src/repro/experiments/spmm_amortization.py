@@ -1,0 +1,177 @@
+"""SpMM amortization study: feature-collection cost vs. ``num_vectors``.
+
+The SpMM collector streams the sparse matrix's column indices, so its cost
+is fixed per matrix — it does not grow with the dense block width.  Kernel
+runtime, by contrast, scales with ``num_vectors`` (every nonzero touches a
+``num_vectors``-wide row of B).  Collecting features therefore amortizes
+*faster* as the dense block widens: the iterations needed for an informed
+kernel choice to pay for the collection shrink with ``num_vectors``.
+
+This is the per-domain analog of the paper's Fig. 6 (which sweeps matrix
+size for SpMV): same question — when is gathering features worth it? — asked
+along the axis that is unique to the SpMM domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.domains import get_domain
+from repro.domains.spmm import AMORTIZATION_VECTOR_GRID, SpmmWorkload
+from repro.experiments.common import format_table
+from repro.experiments.registry import ExperimentArtifact, register_experiment
+from repro.gpu.device import MI100
+from repro.kernels.base import UnsupportedKernelError
+
+#: Row count of the study's matrix (large enough that kernel runtime, not
+#: launch overhead, dominates; small enough to build in milliseconds).
+DEFAULT_NUM_ROWS = 32_768
+
+#: Seed of the study's power-law matrix.
+DEFAULT_SEED = 11
+
+
+@dataclass(frozen=True)
+class AmortizationPoint:
+    """One ``num_vectors`` position of the study."""
+
+    num_vectors: int
+    collection_ms: float
+    best_kernel: str
+    best_kernel_ms: float
+    worst_kernel: str
+    worst_kernel_ms: float
+
+    @property
+    def amortize_iterations(self) -> float:
+        """Iterations until collection pays for itself.
+
+        The worst-vs-best per-iteration gap is the cost of an uninformed
+        kernel choice; collection has amortized once the accumulated gap
+        exceeds the collection time.  ``inf`` when every kernel ties.
+        """
+        savings = self.worst_kernel_ms - self.best_kernel_ms
+        if savings <= 0.0:
+            return float("inf")
+        return self.collection_ms / savings
+
+
+@dataclass
+class SpmmAmortizationResult:
+    """The full ``num_vectors`` sweep plus the matrix it ran on."""
+
+    rows: int = 0
+    nnz: int = 0
+    points: list = field(default_factory=list)
+
+    def to_rows(self) -> list:
+        """Rows for display, one per swept ``num_vectors``."""
+        return [
+            (
+                p.num_vectors,
+                round(p.collection_ms, 4),
+                p.best_kernel,
+                round(p.best_kernel_ms, 4),
+                p.worst_kernel,
+                round(p.worst_kernel_ms, 4),
+                round(p.amortize_iterations, 2)
+                if math.isfinite(p.amortize_iterations)
+                else "never",
+            )
+            for p in sorted(self.points, key=lambda p: p.num_vectors)
+        ]
+
+    def render(self) -> str:
+        """Printable summary of the study."""
+        header = (
+            f"SpMM amortization — collection cost vs num_vectors "
+            f"(matrix: {self.rows} rows, {self.nnz} nnz)\n"
+        )
+        return header + format_table(
+            [
+                "num_vectors",
+                "collection ms",
+                "best kernel",
+                "best ms",
+                "worst kernel",
+                "worst ms",
+                "amortize iters",
+            ],
+            self.to_rows(),
+        )
+
+    def to_artifact(self) -> ExperimentArtifact:
+        """Structured output: one row per swept ``num_vectors``."""
+        return ExperimentArtifact(
+            columns=(
+                "num_vectors",
+                "collection_ms",
+                "best_kernel",
+                "best_kernel_ms",
+                "worst_kernel",
+                "worst_kernel_ms",
+                "amortize_iterations",
+            ),
+            rows=[
+                (
+                    p.num_vectors,
+                    p.collection_ms,
+                    p.best_kernel,
+                    p.best_kernel_ms,
+                    p.worst_kernel,
+                    p.worst_kernel_ms,
+                    p.amortize_iterations,
+                )
+                for p in sorted(self.points, key=lambda p: p.num_vectors)
+            ],
+            summary={"rows": self.rows, "nnz": self.nnz},
+        )
+
+
+def run_spmm_amortization(
+    num_vectors_grid=AMORTIZATION_VECTOR_GRID,
+    num_rows: int = DEFAULT_NUM_ROWS,
+    device=MI100,
+    seed: int = DEFAULT_SEED,
+) -> SpmmAmortizationResult:
+    """Sweep the dense block width and compare collection cost per iteration."""
+    domain = get_domain("spmm")
+    base = domain.scaling_workload(num_rows, seed=seed)
+    matrix = base.matrix
+    collector = domain.make_collector(device)
+    kernels = domain.default_kernels(device)
+    result = SpmmAmortizationResult(rows=matrix.num_rows, nnz=matrix.nnz)
+    for num_vectors in num_vectors_grid:
+        workload = SpmmWorkload(matrix=matrix, num_vectors=int(num_vectors))
+        per_iteration = {}
+        for kernel in kernels:
+            try:
+                per_iteration[kernel.name] = kernel.timing(workload).iteration_ms
+            except UnsupportedKernelError:
+                continue
+        best = min(per_iteration, key=lambda name: (per_iteration[name], name))
+        worst = max(per_iteration, key=lambda name: (per_iteration[name], name))
+        result.points.append(
+            AmortizationPoint(
+                num_vectors=int(num_vectors),
+                collection_ms=collector.collection_time_ms(workload),
+                best_kernel=best,
+                best_kernel_ms=per_iteration[best],
+                worst_kernel=worst,
+                worst_kernel_ms=per_iteration[worst],
+            )
+        )
+    return result
+
+
+@register_experiment(
+    "spmm_amortization",
+    title="SpMM feature-cost amortization vs num_vectors",
+    domains=("spmm",),
+    needs_sweep=False,
+    description="fixed collection cost against kernel runtimes growing with "
+    "the dense block width; how fast gathering pays off",
+)
+def _spmm_amortization_experiment(context) -> SpmmAmortizationResult:
+    return run_spmm_amortization(device=context.device)

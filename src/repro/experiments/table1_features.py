@@ -17,6 +17,7 @@ from repro.core.dataset import TrainingSample
 from repro.core.inference import SeerPredictor
 from repro.core.training import USE_GATHERED, USE_KNOWN
 from repro.experiments.common import format_table
+from repro.experiments.registry import ExperimentArtifact, register_experiment
 from repro.kernels.feature_kernels import FeatureCollector
 from repro.kernels.registry import KERNEL_CLASSES
 from repro.ml.decision_tree import DecisionTreeClassifier
@@ -66,6 +67,14 @@ class Table1Result:
             ["Feature", "Seer (this repo)", *PRIOR_WORK_COLUMNS], self.to_rows()
         )
 
+    def to_artifact(self) -> ExperimentArtifact:
+        """Structured output: the capability matrix, one row per feature."""
+        return ExperimentArtifact(
+            columns=("feature", "seer", *(c.lower() for c in PRIOR_WORK_COLUMNS)),
+            rows=self.to_rows(),
+            summary={"seer_supports_all": self.seer_supports_all()},
+        )
+
 
 def _verify_capabilities() -> dict:
     """Map each Seer capability of Table I to evidence in this code base."""
@@ -95,3 +104,14 @@ def _verify_capabilities() -> dict:
 def run_table1() -> Table1Result:
     """Build Table I and verify the Seer column against the implementation."""
     return Table1Result(capabilities=dict(TABLE1_ROWS), verification=_verify_capabilities())
+
+
+@register_experiment(
+    "table1",
+    title="Capability comparison (Table I)",
+    needs_sweep=False,
+    description="framework capability checklist, Seer column verified "
+    "against this code base (domain-independent)",
+)
+def _table1_experiment(context) -> Table1Result:
+    return run_table1()

@@ -15,11 +15,30 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.domains.base import ITERATIONS_FIELD
 from repro.experiments.common import DEFAULT_PROFILE, format_table, resolve_sweep
+from repro.experiments.registry import ExperimentArtifact, register_experiment
 from repro.ml.kendall import kendall_tau
 
-#: Feature columns of Table III, in paper order.
+#: Feature columns of Table III for the SpMV case study, in paper order.
 TABLE3_FEATURES = ("rows", "nnz", "most", "least", "avg", "var")
+
+
+def table3_feature_names(sweep) -> tuple:
+    """Feature columns of the table for a sweep's domain.
+
+    The SpMV case study keeps the paper's six columns (with its shorthand
+    ``most``/``least``/``avg``/``var`` names); every other domain reports
+    its declared known features (minus the iteration count, which is not a
+    workload property) followed by its gathered features.
+    """
+    if sweep.domain_name == "spmv":
+        return TABLE3_FEATURES
+    domain = sweep.suite.domain
+    known = tuple(
+        name for name in domain.known_feature_names if name != ITERATIONS_FIELD
+    )
+    return known + tuple(domain.gathered_feature_names)
 
 
 def _feature_value(measurement, feature: str) -> float:
@@ -35,6 +54,12 @@ def _feature_value(measurement, feature: str) -> float:
         return measurement.gathered.mean_row_density
     if feature == "var":
         return measurement.gathered.var_row_density
+    known = measurement.known.as_dict()
+    if feature in known:
+        return float(known[feature])
+    gathered = measurement.gathered.as_dict()
+    if feature in gathered:
+        return float(gathered[feature])
     raise KeyError(feature)
 
 
@@ -64,6 +89,17 @@ class Table3Result:
             ["Load-Balancing Alg.", *self.feature_names], self.to_rows()
         )
 
+    def to_artifact(self) -> ExperimentArtifact:
+        """Structured output: one row per kernel, full-precision |tau|."""
+        return ExperimentArtifact(
+            columns=("kernel", *self.feature_names),
+            rows=[
+                (kernel, *(values[feature] for feature in self.feature_names))
+                for kernel, values in self.correlations.items()
+            ],
+            summary={"features": list(self.feature_names)},
+        )
+
 
 def run_table3(profile: str = DEFAULT_PROFILE, sweep=None) -> Table3Result:
     """Compute the Table III correlations on the synthetic collection.
@@ -74,14 +110,15 @@ def run_table3(profile: str = DEFAULT_PROFILE, sweep=None) -> Table3Result:
     """
     sweep = resolve_sweep(sweep, profile)
     measurements = list(sweep.suite)
-    result = Table3Result()
+    feature_names = table3_feature_names(sweep)
+    result = Table3Result(feature_names=feature_names)
     for kernel in sweep.kernel_names:
         runtimes = np.array(
             [m.kernel_total_ms(kernel, 1) for m in measurements], dtype=np.float64
         )
         finite = np.isfinite(runtimes)
         row = {}
-        for feature in TABLE3_FEATURES:
+        for feature in feature_names:
             values = np.array(
                 [_feature_value(m, feature) for m in measurements], dtype=np.float64
             )
@@ -89,3 +126,13 @@ def run_table3(profile: str = DEFAULT_PROFILE, sweep=None) -> Table3Result:
             row[feature] = abs(tau) if not math.isnan(tau) else float("nan")
         result.correlations[kernel] = row
     return result
+
+
+@register_experiment(
+    "table3",
+    title="Kendall correlations (Table III)",
+    description="rank correlation between every kernel's runtime and the "
+    "domain's known/gathered features",
+)
+def _table3_experiment(context) -> Table3Result:
+    return run_table3(profile=context.profile, sweep=context.sweep())

@@ -330,6 +330,43 @@ def test_sweep_config_key_differs_across_domains():
     assert sweep_config_key(**base, domain="spmv") != sweep_config_key(**base, domain="spmm")
 
 
+def test_experiment_suite_warm_cache_equals_cold_run(tmp_path):
+    """Parity at the experiment layer: a warm engine reproduces a cold run.
+
+    Every registered experiment is run twice per domain — once against a
+    cold cache (benchmarking happens) and once against the now-warm cache
+    (the sweep is served from disk) — and the persisted artifacts must be
+    byte-identical.
+    """
+    from repro.experiments.registry import (
+        ExperimentContext,
+        experiments_for,
+        run_experiment,
+        write_artifact,
+    )
+
+    cache = tmp_path / "cache"
+    for domain in ("spmv", "spmm"):
+        cold = ExperimentContext(
+            domain=domain, profile="tiny", engine=SweepEngine(jobs=1, cache_dir=cache)
+        )
+        warm = ExperimentContext(
+            domain=domain, profile="tiny", engine=SweepEngine(jobs=1, cache_dir=cache)
+        )
+        for spec in experiments_for(domain):
+            cold_result = run_experiment(spec, cold)
+            warm_result = run_experiment(spec, warm)
+            cold_paths = write_artifact(spec, cold, cold_result, tmp_path / "cold")
+            warm_paths = write_artifact(spec, warm, warm_result, tmp_path / "warm")
+            for key in ("data", "manifest"):
+                label = (domain, spec.name, key)
+                assert cold_paths[key].read_bytes() == warm_paths[key].read_bytes(), label
+        # The warm context really was served from the sweep artifact tier.
+        assert cold.engine.stats.sweep_cache_misses == 1
+        assert warm.engine.stats.sweep_cache_hits == 1
+        assert warm.engine.stats.matrices_measured == 0
+
+
 def test_truncated_zip_matrix_artifact_is_regenerated(tmp_path):
     from repro.bench.engine import _load_matrix_artifact
 

@@ -1,0 +1,19 @@
+"""Fixtures shared by the experiment-suite tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import ExperimentContext
+
+
+@pytest.fixture(scope="package")
+def spmv_tiny_context():
+    """One SpMV tiny-profile suite context shared across experiment tests."""
+    return ExperimentContext(domain="spmv", profile="tiny")
+
+
+@pytest.fixture(scope="package")
+def spmm_tiny_context():
+    """One SpMM tiny-profile suite context shared across experiment tests."""
+    return ExperimentContext(domain="spmm", profile="tiny")

@@ -1,0 +1,81 @@
+"""The experiment suite run against a non-SpMV domain (SpMM).
+
+These tests are what the refactor bought: the same figures/tables the paper
+reports for SpMV, regenerated for another registered domain through exactly
+the same registry path.
+"""
+
+import math
+
+from repro.domains import get_domain
+from repro.experiments.registry import experiments_for, get_experiment, run_experiment
+from repro.experiments.spmm_amortization import run_spmm_amortization
+from repro.experiments.table3_kendall import TABLE3_FEATURES, table3_feature_names
+
+
+def test_every_supported_experiment_completes_on_spmm(spmm_tiny_context):
+    for spec in experiments_for("spmm"):
+        result = run_experiment(spec, spmm_tiny_context)
+        artifact = result.to_artifact()
+        assert artifact.rows, spec.name
+        assert isinstance(result.render(), str)
+
+
+def test_fig1_on_spmm_covers_every_workload(spmm_tiny_context):
+    result = run_experiment(get_experiment("fig1"), spmm_tiny_context)
+    sweep = spmm_tiny_context.sweep()
+    assert len(result.points) == len(sweep.suite)
+    assert set(result.winner_counts) <= set(sweep.kernel_names)
+    assert result.distinct_winners >= 2
+
+
+def test_fig5_on_spmm_skips_archetype_studies(spmm_tiny_context):
+    result = run_experiment(get_experiment("fig5"), spmm_tiny_context)
+    assert result.studies == []  # archetypes are SpMV-specific
+    assert result.aggregate["Oracle"] <= result.aggregate["Selector"]
+    assert result.slowdown_vs_oracle >= 1.0
+
+
+def test_table3_on_spmm_uses_the_domain_schema(spmm_tiny_context):
+    sweep = spmm_tiny_context.sweep()
+    names = table3_feature_names(sweep)
+    domain = get_domain("spmm")
+    assert names != TABLE3_FEATURES
+    assert "iterations" not in names
+    assert "num_vectors" in names
+    assert set(domain.gathered_feature_names) <= set(names)
+    result = run_experiment(get_experiment("table3"), spmm_tiny_context)
+    assert result.feature_names == names
+    for row in result.correlations.values():
+        for feature in names:
+            value = row[feature]
+            assert math.isnan(value) or 0.0 <= value <= 1.0
+
+
+def test_fig6_on_spmm_uses_the_domain_reference_kernel(spmm_tiny_context):
+    from repro.experiments.fig6_feature_cost import run_fig6
+
+    result = run_fig6(row_counts=(100, 10_000, 100_000), domain="spmm")
+    assert result.kernel_name == get_domain("spmm").feature_cost_kernel
+    assert len(result.points) == 3
+    for point in result.points:
+        assert point.collection_ms > 0.0 and point.kernel_ms > 0.0
+
+
+def test_spmm_amortization_study_structure():
+    # The default matrix size is deliberately outside the launch-overhead
+    # regime; the amortization trend only exists there.
+    result = run_spmm_amortization()
+    assert result.rows == 32768 and result.nnz > 0
+    points = sorted(result.points, key=lambda p: p.num_vectors)
+    assert [p.num_vectors for p in points] == [1, 2, 4, 8, 16, 32, 64]
+    # The collector scans the sparse matrix only: its cost must not depend
+    # on the dense block width.
+    costs = {p.collection_ms for p in points}
+    assert len(costs) == 1
+    # Kernel runtime grows with num_vectors ...
+    assert points[-1].best_kernel_ms > points[0].best_kernel_ms
+    # ... so collection amortizes faster for wide dense blocks.
+    assert points[-1].amortize_iterations < points[0].amortize_iterations
+    rendered = result.render()
+    assert "num_vectors" in rendered and "amortize" in rendered

@@ -7,7 +7,11 @@ from hypothesis import strategies as st
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ell import ELLMatrix
 from repro.sparse.features import gathered_features
-from repro.sparse.generators import matrix_from_row_lengths
+from repro.sparse.generators import (
+    matrix_from_row_lengths,
+    power_law_matrix,
+    stencil_matrix,
+)
 
 
 @st.composite
@@ -69,6 +73,68 @@ def test_generated_matrices_respect_row_lengths(spec):
     matrix = matrix_from_row_lengths(lengths, cols, rng=seed)
     np.testing.assert_array_equal(matrix.row_lengths(), np.minimum(lengths, cols))
     matrix.validate()
+
+
+@st.composite
+def stencil_specs(draw):
+    """Grid sizes, neighbourhood selection and seed for stencil matrices."""
+    num_rows = draw(st.integers(min_value=1, max_value=400))
+    points = draw(st.sampled_from([5, 9]))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return num_rows, points, seed
+
+
+@given(stencil_specs())
+@settings(max_examples=40, deadline=None)
+def test_stencil_matrix_bandwidth_and_symmetry(spec):
+    num_rows, points, seed = spec
+    matrix = stencil_matrix(num_rows, points=points, rng=seed)
+    matrix.validate()
+    assert matrix.shape == (num_rows, num_rows)
+    # Every row contains at least its own grid point and at most the full
+    # neighbourhood.
+    lengths = matrix.row_lengths()
+    assert lengths.min() >= 1
+    assert lengths.max() <= points
+    # Banded: a neighbour is at most one grid row (plus one column) away.
+    width = max(int(round(num_rows**0.5)), 3)
+    bandwidth = width if points == 5 else width + 1
+    rows = np.repeat(np.arange(num_rows, dtype=np.int64), lengths)
+    assert np.abs(matrix.col_indices - rows).max() <= bandwidth
+    # Stencil coupling is mutual: the sparsity pattern is symmetric.
+    pattern = matrix.to_dense() != 0.0
+    assert (pattern == pattern.T).all()
+
+
+@st.composite
+def power_law_specs(draw):
+    """Matrix size, two ordered average row lengths, and a seed."""
+    num_rows = draw(st.integers(min_value=8, max_value=200))
+    avg_low = draw(st.floats(min_value=0.5, max_value=4.0))
+    factor = draw(st.floats(min_value=1.0, max_value=4.0))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return num_rows, avg_low, avg_low * factor, seed
+
+
+@given(power_law_specs())
+@settings(max_examples=40, deadline=None)
+def test_power_law_hub_degree_is_monotone_in_average(spec):
+    """A heavier average row length never shrinks any row — hubs included.
+
+    For a fixed seed the underlying Pareto draw is identical, so scaling the
+    target average scales every row length monotonically; the hub (max) row
+    degree must therefore be monotone too.
+    """
+    num_rows, avg_low, avg_high, seed = spec
+    light = power_law_matrix(num_rows, num_rows, avg_low, rng=seed)
+    heavy = power_law_matrix(num_rows, num_rows, avg_high, rng=seed)
+    light.validate()
+    heavy.validate()
+    assert (heavy.row_lengths() >= light.row_lengths()).all()
+    assert heavy.row_lengths().max() >= light.row_lengths().max()
+    assert heavy.nnz >= light.nnz
+    # Row lengths are capped at the matrix width (hub rows saturate).
+    assert heavy.row_lengths().max() <= num_rows
 
 
 @given(row_length_specs())

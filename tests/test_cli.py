@@ -81,3 +81,58 @@ def test_cli_sweep_uses_cache_between_runs(tmp_path, capsys):
     assert main(argv) == 0
     warm = capsys.readouterr().out
     assert "sweep-cache=hit" in warm
+
+
+# ----------------------------------------------------------------------
+# The experiment suite subcommand
+# ----------------------------------------------------------------------
+def test_parser_knows_experiments_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["experiments", "list"])
+    assert callable(args.func)
+    args = parser.parse_args(
+        ["experiments", "run", "fig1", "table3", "--domain", "spmm",
+         "--profile", "tiny", "--jobs", "2", "--out-dir", "/tmp/x"]
+    )
+    assert args.names == ["fig1", "table3"]
+    assert args.domain == "spmm" and args.profile == "tiny"
+    assert args.jobs == 2 and args.out_dir == "/tmp/x"
+    args = parser.parse_args(["experiments", "run", "--all"])
+    assert args.all and args.names == []
+
+
+def test_cli_experiments_list(capsys):
+    assert main(["experiments", "list"]) == 0
+    output = capsys.readouterr().out
+    for name in ("fig1", "fig7", "table3", "spmm_amortization"):
+        assert name in output
+    assert "[spmv]" in output  # fig7 is SpMV-only
+    assert "[spmm]" in output  # the amortization study is SpMM-only
+
+
+def test_cli_experiments_run_writes_artifacts(tmp_path, capsys):
+    assert main(
+        ["experiments", "run", "table1", "fig6", "--out-dir", str(tmp_path)]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "Table I" in output and "crossover" in output
+    for name in ("table1", "fig6"):
+        assert (tmp_path / "spmv" / name / "data.csv").exists()
+        assert (tmp_path / "spmv" / name / "manifest.json").exists()
+
+
+def test_cli_experiments_run_rejects_unsupported_domain():
+    with pytest.raises(SystemExit, match="does not support"):
+        main(["experiments", "run", "fig7", "--domain", "spmm"])
+
+
+def test_cli_experiments_run_requires_names_or_all():
+    with pytest.raises(SystemExit, match="--all"):
+        main(["experiments", "run"])
+    with pytest.raises(SystemExit, match="not both"):
+        main(["experiments", "run", "fig1", "--all"])
+
+
+def test_cli_experiments_run_suggests_close_matches():
+    with pytest.raises(SystemExit, match="did you mean"):
+        main(["experiments", "run", "fig11"])
