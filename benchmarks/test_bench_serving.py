@@ -1,0 +1,85 @@
+"""Benchmarks of the serving layer: batch vs. scalar inference.
+
+These pin the speedup the compiled vectorized path buys over the recursive
+per-sample tree walks — the whole point of ``SeerModels.predict_batch`` —
+plus the cost of a model-artifact save/load round trip.  The batch and
+scalar paths are asserted to agree (they are differential-tested more
+thoroughly in ``tests/serving``), so the benchmark can never quietly pin a
+fast-but-wrong path.
+"""
+
+import time
+
+from benchmarks.conftest import record
+from repro.bench.evaluation import evaluate_dataset
+
+
+def _feature_matrices(sweep):
+    dataset = sweep.dataset
+    return dataset.known_matrix(), dataset.gathered_matrix()
+
+
+def _scalar_choices(models, known, gathered):
+    return (
+        tuple(models.predict_selector(row) for row in known),
+        tuple(models.predict_known(row) for row in known),
+        tuple(
+            models.predict_gathered(k, g) for k, g in zip(known, gathered)
+        ),
+    )
+
+
+def test_bench_scalar_inference(benchmark, paper_sweep):
+    """Reference: all three trees over the corpus, one recursive walk each."""
+    models = paper_sweep.models
+    known, gathered = _feature_matrices(paper_sweep)
+    result = benchmark(_scalar_choices, models, known, gathered)
+    record(benchmark, samples=len(known))
+    assert len(result[0]) == len(known)
+
+
+def test_bench_batch_inference(benchmark, paper_sweep):
+    """The compiled vectorized path over the same corpus."""
+    models = paper_sweep.models
+    known, gathered = _feature_matrices(paper_sweep)
+
+    start = time.perf_counter()
+    scalar = _scalar_choices(models, known, gathered)
+    scalar_s = time.perf_counter() - start
+    models.predict_batch(known, gathered)  # compile outside the timed region
+
+    batch = benchmark(models.predict_batch, known, gathered)
+    batch_s = benchmark.stats.stats.mean
+    assert (batch.selector_choices, batch.known_kernels, batch.gathered_kernels) == scalar
+    record(
+        benchmark,
+        samples=len(known),
+        scalar_s=scalar_s,
+        batch_s=batch_s,
+        speedup=scalar_s / batch_s if batch_s else float("nan"),
+    )
+
+
+def test_bench_vectorized_evaluation(benchmark, paper_sweep):
+    """Whole-corpus evaluation through the batch path (the sweep hot loop)."""
+    report = benchmark(
+        evaluate_dataset, paper_sweep.dataset, paper_sweep.models
+    )
+    record(benchmark, samples=len(report.rows))
+    assert len(report.rows) == len(paper_sweep.dataset)
+
+
+def test_bench_model_artifact_roundtrip(benchmark, paper_sweep, tmp_path_factory):
+    """Registry save + validated load of a full trained model bundle."""
+    from repro.serving.artifacts import load_models, save_models
+
+    directory = tmp_path_factory.mktemp("serving-bench")
+
+    def roundtrip():
+        path = save_models(
+            paper_sweep.models, directory / "model.json", domain=paper_sweep.domain_name
+        )
+        return load_models(path, domain=paper_sweep.domain_name)
+
+    loaded = benchmark(roundtrip)
+    assert loaded.kernel_names == paper_sweep.models.kernel_names

@@ -47,6 +47,12 @@ from repro.domains import (
 from repro.gpu import MI100, DeviceSpec, get_device
 from repro.kernels import default_kernels, make_kernel
 from repro.ml import DecisionTreeClassifier, kendall_tau
+from repro.serving import (
+    ModelArtifactError,
+    ModelRegistry,
+    load_models,
+    save_models,
+)
 from repro.sparse import (
     COOMatrix,
     CSRMatrix,
@@ -88,6 +94,10 @@ __all__ = [
     "make_kernel",
     "DecisionTreeClassifier",
     "kendall_tau",
+    "ModelArtifactError",
+    "ModelRegistry",
+    "load_models",
+    "save_models",
     "COOMatrix",
     "CSRMatrix",
     "ELLMatrix",

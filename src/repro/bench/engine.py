@@ -64,6 +64,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.runner import DEFAULT_SEED, DEFAULT_SPLIT_SEED
 from repro.core.benchmarking import BenchmarkSuite, MatrixMeasurement, measure_matrix
 from repro.core.dataset import DEFAULT_ITERATION_COUNTS
 from repro.core.training import TrainingConfig
@@ -259,7 +260,7 @@ def matrix_from_bytes(data: bytes) -> CSRMatrix:
         )
 
 
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
+def atomic_write_bytes(path: Path, data: bytes) -> None:
     """Write ``data`` to ``path`` without ever exposing a partial file."""
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -323,7 +324,7 @@ def _measure_spec_chunk(
             matrix = domain.spec_matrix(spec)
             generated += 1
             if artifact_path is not None:
-                _atomic_write_bytes(artifact_path, matrix_to_bytes(matrix))
+                atomic_write_bytes(artifact_path, matrix_to_bytes(matrix))
         else:
             matrix_hits += 1
         workload = domain.workload_from_matrix(spec, matrix)
@@ -401,15 +402,19 @@ class SweepEngine:
         path = self._measurement_path(key)
         try:
             payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            return measurement_from_dict(payload)
+        except Exception:
+            # A cached artifact that cannot be read back — truncated file,
+            # valid JSON with the wrong shape, unknown domain name — is a
+            # cache miss, never fatal: the measurement is recomputed and
+            # the slot overwritten.
             return None
-        return measurement_from_dict(payload)
 
     def _store_measurement(self, key: str, measurement: MatrixMeasurement, domain=None) -> None:
         if self.cache_dir is None:
             return
         data = json.dumps(measurement_to_dict(measurement, domain)).encode()
-        _atomic_write_bytes(self._measurement_path(key), data)
+        atomic_write_bytes(self._measurement_path(key), data)
 
     def _load_sweep(self, key: str):
         if self.cache_dir is None:
@@ -418,15 +423,19 @@ class SweepEngine:
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, AttributeError, EOFError):
+        except Exception:
+            # Corrupted/truncated pickles raise a zoo of exception types
+            # (UnpicklingError, EOFError, AttributeError, ImportError,
+            # IndexError, ...); any unreadable sweep artifact is simply a
+            # cache miss and the sweep is recomputed.
             return None
 
     def _store_sweep(self, key: str, result, describe: dict) -> None:
         if self.cache_dir is None:
             return
-        _atomic_write_bytes(self._sweep_path(key), pickle.dumps(result))
+        atomic_write_bytes(self._sweep_path(key), pickle.dumps(result))
         meta = json.dumps(describe, sort_keys=True, indent=2).encode()
-        _atomic_write_bytes(self._sweep_path(key).with_suffix(".json"), meta)
+        atomic_write_bytes(self._sweep_path(key).with_suffix(".json"), meta)
 
     # ------------------------------------------------------------------
     # Benchmarking stage
@@ -497,7 +506,7 @@ class SweepEngine:
     def run_benchmark_suite(
         self,
         profile: str = "small",
-        seed: int = 7,
+        seed: int = DEFAULT_SEED,
         device: DeviceSpec = MI100,
         include_rocsparse: bool = True,
         domain=None,
@@ -522,8 +531,8 @@ class SweepEngine:
         profile: str = "small",
         iteration_counts=DEFAULT_ITERATION_COUNTS,
         device: DeviceSpec = MI100,
-        seed: int = 7,
-        split_seed: int = 13,
+        seed: int = DEFAULT_SEED,
+        split_seed: int = DEFAULT_SPLIT_SEED,
         config: Optional[TrainingConfig] = None,
         include_rocsparse: bool = True,
         domain=None,

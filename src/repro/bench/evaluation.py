@@ -188,22 +188,22 @@ def predictor_path_time_ms(
     return kernel_ms + overhead_ms
 
 
-def _evaluate_sample(sample: TrainingSample, models: SeerModels,
-                     predictor: SeerPredictor, oracle: OraclePredictor) -> ApproachTimes:
-    known_vector = sample.known_vector
-    gathered_vector = sample.gathered_vector
-
+def _assemble_row(
+    sample: TrainingSample,
+    oracle: OraclePredictor,
+    known_kernel: str,
+    gathered_kernel: str,
+    selector_choice: str,
+) -> ApproachTimes:
+    """Turn one sample's three model picks into its evaluation row."""
     oracle_kernel = oracle.select(sample)
     oracle_ms = sample.kernel_total_ms[oracle_kernel]
 
-    known_kernel = models.predict_known(known_vector)
     known_ms = predictor_path_time_ms(sample, known_kernel, TREE_EVALUATION_MS)
 
-    gathered_kernel = models.predict_gathered(known_vector, gathered_vector)
     gathered_overhead = sample.collection_time_ms + TREE_EVALUATION_MS
     gathered_ms = predictor_path_time_ms(sample, gathered_kernel, gathered_overhead)
 
-    selector_choice = models.predict_selector(known_vector)
     if selector_choice == USE_GATHERED:
         selector_kernel = gathered_kernel
         selector_overhead = gathered_overhead + TREE_EVALUATION_MS
@@ -231,13 +231,58 @@ def _evaluate_sample(sample: TrainingSample, models: SeerModels,
     )
 
 
+def _evaluate_sample(
+    sample: TrainingSample, models: SeerModels, oracle: OraclePredictor
+) -> ApproachTimes:
+    """Scalar reference: one sample through the recursive tree walks.
+
+    Kept as the auditable per-sample path; :func:`evaluate_dataset` uses
+    the vectorized batch path by default, and the differential tests assert
+    the two produce identical rows.
+    """
+    return _assemble_row(
+        sample,
+        oracle,
+        known_kernel=models.predict_known(sample.known_vector),
+        gathered_kernel=models.predict_gathered(
+            sample.known_vector, sample.gathered_vector
+        ),
+        selector_choice=models.predict_selector(sample.known_vector),
+    )
+
+
 def evaluate_dataset(
-    dataset: TrainingDataset, models: SeerModels, predictor: SeerPredictor = None
+    dataset: TrainingDataset,
+    models: SeerModels,
+    predictor: SeerPredictor = None,
+    vectorized: bool = True,
 ) -> EvaluationReport:
-    """Evaluate the three predictors and every kernel over ``dataset``."""
-    predictor = predictor or SeerPredictor(models)
+    """Evaluate the three predictors and every kernel over ``dataset``.
+
+    By default the three decision trees are evaluated over the whole
+    dataset in one compiled batch pass (:meth:`SeerModels.predict_batch`)
+    instead of three recursive Python walks per sample; pass
+    ``vectorized=False`` to force the scalar reference path.  Both paths
+    produce bit-identical reports.
+
+    ``predictor`` is accepted for backward compatibility and ignored: the
+    evaluation consults ``models`` directly (it always has — the paths are
+    replayed from the sweep's measurements, never re-collected).
+    """
+    del predictor
     oracle = OraclePredictor()
+    if not vectorized or len(dataset) == 0:
+        rows = [_evaluate_sample(sample, models, oracle) for sample in dataset]
+        return EvaluationReport(kernel_names=list(dataset.kernel_names), rows=rows)
+    batch = models.predict_batch(dataset.known_matrix(), dataset.gathered_matrix())
     rows = [
-        _evaluate_sample(sample, models, predictor, oracle) for sample in dataset
+        _assemble_row(
+            sample,
+            oracle,
+            known_kernel=batch.known_kernels[index],
+            gathered_kernel=batch.gathered_kernels[index],
+            selector_choice=batch.selector_choices[index],
+        )
+        for index, sample in enumerate(dataset)
     ]
     return EvaluationReport(kernel_names=list(dataset.kernel_names), rows=rows)

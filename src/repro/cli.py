@@ -1,12 +1,15 @@
 """Command-line interface for the Seer reproduction.
 
 ``repro`` (also installed as ``seer-repro``, or ``python -m repro``) exposes
-the pipeline stages and the experiment suite:
+the pipeline stages, the model registry and the experiment suite:
 
 .. code-block:: console
 
    repro sweep --profile small --output-dir out/   # benchmark + train
    repro sweep --profile medium --jobs 8 --cache-dir ~/.cache/seer
+   repro train --profile small --save models/      # train once, register
+   repro predict --model models/spmv/small/<hash>  # inspect the artifact
+   repro predict --model ... --batch features.csv  # serve a feature batch
    repro experiments list                          # registered experiments
    repro experiments run --all --domain spmv --profile tiny --out-dir out/
    repro experiments run fig1 table3 --domain spmm --profile tiny
@@ -25,6 +28,7 @@ under ``<out>/<domain>/<experiment>/``.
 from __future__ import annotations
 
 import argparse
+import csv
 import sys
 from pathlib import Path
 
@@ -139,6 +143,126 @@ def _cmd_sweep(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# The serving layer: train --save / predict
+# ----------------------------------------------------------------------
+def _cmd_train(args) -> int:
+    """Run the training sweep and register the models as an artifact."""
+    from repro.serving.registry import ModelRegistry
+
+    engine = _resolve_engine(args)
+    sweep = run_sweep(profile=args.profile, engine=engine, domain=args.domain)
+    registry = ModelRegistry(args.save)
+    model_path = registry.save(
+        sweep.models, domain=args.domain, profile=args.profile
+    )
+    report = sweep.test_report
+    print(
+        f"domain {sweep.suite.domain_name}: trained on {len(sweep.train_set)} "
+        f"samples ({len(sweep.suite)} workloads, profile {args.profile!r})"
+    )
+    print(f"known/gathered accuracy: {report.accuracy('Known'):.2f} / "
+          f"{report.accuracy('Gathered'):.2f}")
+    print(f"selector slowdown vs Oracle: {report.slowdown_vs_oracle():.2f}x")
+    if engine is not None:
+        print(_engine_status_line(engine))
+    print(f"registered model: {model_path}")
+    return 0
+
+
+def _batch_rows(path: Path) -> list:
+    """Rows of a feature CSV as dictionaries (header required)."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise SystemExit(f"repro: error: {path} is empty (no CSV header)")
+        return list(reader)
+
+
+def _feature_matrix(rows, names, path, kind: str):
+    """Extract the named feature columns of every row as floats."""
+    matrix = []
+    for line, row in enumerate(rows, start=2):
+        vector = []
+        for name in names:
+            try:
+                vector.append(float(row[name]))
+            except (KeyError, TypeError):
+                raise SystemExit(
+                    f"repro: error: {path}:{line} is missing {kind} feature "
+                    f"column {name!r}"
+                ) from None
+            except ValueError:
+                raise SystemExit(
+                    f"repro: error: {path}:{line} has a non-numeric value "
+                    f"{row[name]!r} for feature {name!r}"
+                ) from None
+        matrix.append(vector)
+    return matrix
+
+
+def _cmd_predict(args) -> int:
+    """Serve (or inspect) a registered model artifact."""
+    from repro.serving.artifacts import ModelArtifactError, load_artifact
+
+    try:
+        artifact = load_artifact(args.model)
+    except ModelArtifactError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    models = artifact.models
+    if args.batch is None:
+        print(f"model artifact: {artifact.path}")
+        print(f"domain: {artifact.domain_name or 'unspecified'}")
+        print(f"training samples: {models.training_size}")
+        print(f"kernels: {', '.join(models.kernel_names)}")
+        print(f"known features: {', '.join(models.known_feature_names)}")
+        print(f"gathered features: {', '.join(models.gathered_feature_names)}")
+        for label, model in (
+            ("known", models.known_model),
+            ("gathered", models.gathered_model),
+            ("selector", models.selector_model),
+        ):
+            print(
+                f"{label} tree: {model.num_nodes_} nodes, depth {model.depth()}"
+            )
+        return 0
+
+    batch_path = Path(args.batch)
+    rows = _batch_rows(batch_path)
+    if not rows:
+        raise SystemExit(f"repro: error: {batch_path} has no data rows")
+    known_matrix = _feature_matrix(
+        rows, models.known_feature_names, batch_path, "known"
+    )
+    gathered_matrix = None
+    present = set(rows[0])
+    gathered_names = models.gathered_feature_names
+    if gathered_names and all(name in present for name in gathered_names):
+        gathered_matrix = _feature_matrix(
+            rows, gathered_names, batch_path, "gathered"
+        )
+    selection = models.predict_batch(known_matrix, gathered_matrix)
+    try:
+        kernels = selection.kernels
+    except ValueError as error:
+        hint = (
+            f" (add the {', '.join(gathered_names)} columns to {batch_path})"
+            if gathered_names
+            else ""
+        )
+        raise SystemExit(f"repro: error: {error}{hint}") from None
+    writer = csv.writer(sys.stdout, lineterminator="\n")
+    has_names = "name" in present
+    header = ["name"] if has_names else []
+    writer.writerow(header + ["selector_choice", "kernel"])
+    for index, row in enumerate(rows):
+        prefix = [row["name"]] if has_names else []
+        writer.writerow(
+            prefix + [selection.selector_choices[index], kernels[index]]
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # The experiment suite
 # ----------------------------------------------------------------------
 def _cmd_experiments_list(args) -> int:
@@ -182,7 +306,10 @@ def _select_specs(args):
 def _cmd_experiments_run(args) -> int:
     specs = _select_specs(args)
     context = ExperimentContext(
-        domain=args.domain, profile=args.profile, engine=_resolve_engine(args)
+        domain=args.domain,
+        profile=args.profile,
+        engine=_resolve_engine(args),
+        model_registry=args.model_dir,
     )
     engine = context.engine
     for spec in specs:
@@ -227,6 +354,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--output-dir", default=None, help="directory for CSVs and generated headers")
     sweep.set_defaults(func=_cmd_sweep)
 
+    train = sub.add_parser(
+        "train",
+        help="run the training sweep and save the models to a registry",
+    )
+    _add_profile(train)
+    _add_domain(train)
+    _add_engine_options(train)
+    train.add_argument(
+        "--save", required=True, metavar="DIR",
+        help="model-registry root; the artifact lands under "
+        "DIR/<domain>/<profile>/<config-hash>/model.json",
+    )
+    train.set_defaults(func=_cmd_train)
+
+    predict = sub.add_parser(
+        "predict",
+        help="inspect a saved model artifact or serve a feature-batch CSV",
+    )
+    predict.add_argument(
+        "--model", required=True, metavar="PATH",
+        help="path to a model.json (or the directory containing it)",
+    )
+    predict.add_argument(
+        "--batch", default=None, metavar="CSV",
+        help="CSV of feature rows (known feature columns required, gathered "
+        "columns optional); predictions are written to stdout",
+    )
+    predict.set_defaults(func=_cmd_predict)
+
     experiments = sub.add_parser(
         "experiments", help="list or run the registered experiment suite"
     )
@@ -254,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--out-dir", default=None, metavar="DIR",
         help="write data.csv + manifest.json per experiment under DIR/<domain>/<name>/",
+    )
+    run_parser.add_argument(
+        "--model-dir", default=None, metavar="DIR",
+        help="model-registry root: publish the suite's trained models there, "
+        "servable later via 'repro predict' or ExperimentContext.models()",
     )
     run_parser.set_defaults(func=_cmd_experiments_run)
 

@@ -82,6 +82,10 @@ class TrainingDataset:
         """Known+gathered feature matrix, one row per sample."""
         return np.stack([sample.full_vector for sample in self.samples])
 
+    def gathered_matrix(self) -> np.ndarray:
+        """Gathered-feature matrix, one row per sample."""
+        return np.stack([sample.gathered_vector for sample in self.samples])
+
     def labels(self) -> list:
         """Fastest-kernel label of every sample."""
         return [sample.best_kernel for sample in self.samples]

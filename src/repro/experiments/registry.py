@@ -209,12 +209,20 @@ class ExperimentContext:
         profile: str = DEFAULT_PROFILE,
         engine=None,
         device: DeviceSpec = MI100,
+        model_registry=None,
     ):
         self.domain = get_domain(domain)
         self.profile = profile
         self.engine = engine
         self.device = device
+        if model_registry is not None:
+            from repro.serving.registry import ModelRegistry
+
+            if not isinstance(model_registry, ModelRegistry):
+                model_registry = ModelRegistry(model_registry)
+        self.model_registry = model_registry
         self._sweep = None
+        self._models = None
 
     def __repr__(self) -> str:
         return (
@@ -223,7 +231,12 @@ class ExperimentContext:
         )
 
     def sweep(self):
-        """The context's pipeline sweep, run once and cached."""
+        """The context's pipeline sweep, run once and cached.
+
+        With a ``model_registry``, the freshly trained models are also
+        published to the registry, so one suite run leaves behind a
+        servable model artifact for ``repro predict`` and later runs.
+        """
         if self._sweep is None:
             self._sweep = run_sweep(
                 profile=self.profile,
@@ -231,7 +244,35 @@ class ExperimentContext:
                 engine=self.engine,
                 domain=self.domain,
             )
+            if self.model_registry is not None:
+                self.model_registry.save(
+                    self._sweep.models,
+                    domain=self.domain,
+                    profile=self.profile,
+                    device=self.device,
+                )
         return self._sweep
+
+    def models(self):
+        """Trained models for this configuration, registry-first.
+
+        With a ``model_registry`` holding an artifact for this exact
+        configuration (same config hash as the sweep tier), the models are
+        served from disk without running any sweep; otherwise the shared
+        sweep runs (training once) and its models are published to the
+        registry for the next caller.
+        """
+        if self._models is not None:
+            return self._models
+        if self._sweep is None and self.model_registry is not None:
+            loaded = self.model_registry.load_or_none(
+                domain=self.domain, profile=self.profile, device=self.device
+            )
+            if loaded is not None:
+                self._models = loaded
+                return self._models
+        self._models = self.sweep().models
+        return self._models
 
 
 def run_experiment(experiment, context: ExperimentContext):

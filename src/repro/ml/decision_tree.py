@@ -109,6 +109,7 @@ class DecisionTreeClassifier:
         self.feature_names_ = None
         self._encoder = LabelEncoder()
         self._num_nodes = 0
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -145,6 +146,7 @@ class DecisionTreeClassifier:
         else:
             self.feature_names_ = [f"f{i}" for i in range(self.num_features_)]
         self._num_nodes = 0
+        self._compiled = None
         self.root_ = self._build(X, codes, weights, depth=0)
         return self
 
@@ -288,6 +290,35 @@ class DecisionTreeClassifier:
     def predict_one(self, sample):
         """Predict the class label of a single feature vector."""
         return self.predict(np.asarray(sample, dtype=np.float64).reshape(1, -1))[0]
+
+    def compiled(self):
+        """The tree flattened for vectorized evaluation (built lazily).
+
+        The compiled form is cached on the instance and invalidated by
+        :meth:`fit`; it performs exactly the comparisons of the recursive
+        walk, so ``predict_batch`` and ``predict`` always agree.
+        """
+        self._require_fitted()
+        if self._compiled is None:
+            from repro.serving.compiled import compile_tree
+
+            self._compiled = compile_tree(self)
+        return self._compiled
+
+    def predict_batch(self, X) -> list:
+        """Predict every row of ``X`` through the compiled vectorized path.
+
+        Element-wise identical to :meth:`predict`; the recursive walk is
+        kept as the auditable reference implementation while this path
+        advances all N samples one tree level at a time in NumPy.
+        """
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.num_features_:
+            raise ValueError(
+                f"expected {self.num_features_} features, got {X.shape[1]}"
+            )
+        return self._encoder.inverse_transform(self.compiled().predict_codes(X))
 
     def predict_proba(self, X) -> np.ndarray:
         """Per-class empirical (weighted) probabilities of the reached leaves."""

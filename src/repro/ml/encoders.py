@@ -46,3 +46,22 @@ class LabelEncoder:
     def _require_fitted(self) -> None:
         if self.classes_ is None:
             raise RuntimeError("LabelEncoder used before fit()")
+
+    def to_payload(self) -> list:
+        """The learned classes as a JSON-serializable list (encoding order)."""
+        self._require_fitted()
+        return list(self.classes_)
+
+    @classmethod
+    def from_classes(cls, classes) -> "LabelEncoder":
+        """Rebuild an encoder from a stored class list.
+
+        The given order is preserved verbatim — not re-sorted — so a
+        deserialized encoder reproduces the original code mapping exactly.
+        """
+        encoder = cls()
+        encoder.classes_ = list(classes)
+        if len(set(encoder.classes_)) != len(encoder.classes_):
+            raise ValueError("encoder classes must be unique")
+        encoder._index = {label: code for code, label in enumerate(encoder.classes_)}
+        return encoder

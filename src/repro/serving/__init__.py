@@ -1,0 +1,52 @@
+"""Model serving: compiled batch inference plus the versioned model registry.
+
+The training sweep is expensive; serving is not.  This package separates
+the two the way the paper's deployment story does (train once, embed the
+trees, select kernels at runtime for pennies):
+
+* :mod:`repro.serving.compiled` — fitted decision trees flattened into
+  NumPy arrays so N feature rows are classified in a handful of vectorized
+  passes (:meth:`SeerModels.predict_batch` rides on this);
+* :mod:`repro.serving.artifacts` — canonical ``model.json`` documents:
+  byte-stable serialization of a full :class:`~repro.core.training.SeerModels`
+  with eager validation on load;
+* :mod:`repro.serving.registry` — a versioned on-disk registry keyed by the
+  same config-plus-source-digest hashes the sweep engine uses, populated by
+  ``repro train --save`` and served by ``repro predict``.
+"""
+
+from repro.serving.artifacts import (
+    MODEL_FILE_NAME,
+    MODEL_FORMAT,
+    MODEL_FORMAT_VERSION,
+    ModelArtifact,
+    ModelArtifactError,
+    load_artifact,
+    load_models,
+    models_from_payload,
+    models_to_payload,
+    save_models,
+    tree_from_payload,
+    tree_to_payload,
+)
+from repro.serving.compiled import CompiledTree, compile_tree
+from repro.serving.registry import MANIFEST_FILE_NAME, ModelRegistry
+
+__all__ = [
+    "MODEL_FILE_NAME",
+    "MODEL_FORMAT",
+    "MODEL_FORMAT_VERSION",
+    "MANIFEST_FILE_NAME",
+    "CompiledTree",
+    "ModelArtifact",
+    "ModelArtifactError",
+    "ModelRegistry",
+    "compile_tree",
+    "load_artifact",
+    "load_models",
+    "models_from_payload",
+    "models_to_payload",
+    "save_models",
+    "tree_from_payload",
+    "tree_to_payload",
+]

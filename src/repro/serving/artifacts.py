@@ -1,0 +1,406 @@
+"""Serialization of trained :class:`~repro.core.training.SeerModels`.
+
+A fitted model is "printable weights" (Section III-D of the paper): three
+decision trees, their label encodings and the feature schemas they were
+trained on.  This module writes all of that as one canonical JSON document —
+``model.json`` — that a fresh process can load and serve without re-running
+the training sweep.
+
+The format is deliberately *canonical*: keys are sorted, floats are emitted
+in their shortest round-trippable form (Python ``repr`` semantics, what the
+``json`` module produces), and no timestamps or machine state are embedded.
+``save -> load -> save`` is therefore byte-stable, which the golden-artifact
+test pins, and a reloaded model predicts bit-identically to the original.
+
+Loading validates eagerly and raises :class:`ModelArtifactError` with a
+clear message on corrupted files, format-version mismatches and
+domain-schema mismatches — a broken artifact must never silently
+mispredict.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.training import USE_GATHERED, USE_KNOWN, SeerModels
+from repro.ml.decision_tree import DecisionTreeClassifier, TreeNode
+from repro.ml.encoders import LabelEncoder
+
+#: Format marker distinguishing model artifacts from other JSON files.
+MODEL_FORMAT = "seer-models"
+
+#: Bumped whenever the on-disk model layout changes incompatibly.
+MODEL_FORMAT_VERSION = 1
+
+#: File name of the model document inside a registry artifact directory.
+MODEL_FILE_NAME = "model.json"
+
+
+class ModelArtifactError(RuntimeError):
+    """A model artifact is unreadable, corrupt or incompatible."""
+
+
+# ----------------------------------------------------------------------
+# Tree <-> payload
+# ----------------------------------------------------------------------
+def tree_to_payload(model: DecisionTreeClassifier) -> dict:
+    """JSON-serializable form of one fitted tree (nodes in pre-order)."""
+    if model.root_ is None:
+        raise ModelArtifactError("cannot serialize an unfitted tree")
+    nodes = []
+    for node in model.nodes():
+        nodes.append(
+            {
+                "feature": int(node.feature) if not node.is_leaf else -1,
+                "threshold": float(node.threshold) if not node.is_leaf else 0.0,
+                # Children as pre-order indices; node_id is assigned in
+                # build order, which is pre-order, so the ids are indices.
+                "left": int(node.left.node_id) if not node.is_leaf else -1,
+                "right": int(node.right.node_id) if not node.is_leaf else -1,
+                "num_samples": int(node.num_samples),
+                "total_weight": float(node.total_weight),
+                "impurity": float(node.impurity),
+                "class_counts": [float(count) for count in node.class_counts],
+            }
+        )
+    return {
+        "classes": model._encoder.to_payload(),
+        "feature_names": list(model.feature_names_),
+        "max_depth": model.max_depth,
+        "min_samples_split": model.min_samples_split,
+        "min_samples_leaf": model.min_samples_leaf,
+        "nodes": nodes,
+    }
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ModelArtifactError(message)
+
+
+def tree_from_payload(payload: dict, label: str = "tree") -> DecisionTreeClassifier:
+    """Rebuild a fitted tree from :func:`tree_to_payload` output.
+
+    Validates the structure as it goes — child indices must form a proper
+    binary tree over the node list, feature indices must fit the schema and
+    thresholds must be finite — so a corrupted artifact fails loudly here
+    instead of mispredicting later.
+    """
+    _check(isinstance(payload, dict), f"{label}: payload must be an object")
+    for key in ("classes", "feature_names", "nodes"):
+        _check(key in payload, f"{label}: missing key {key!r}")
+    classes = payload["classes"]
+    feature_names = payload["feature_names"]
+    nodes = payload["nodes"]
+    _check(
+        isinstance(classes, list) and classes,
+        f"{label}: 'classes' must be a non-empty list",
+    )
+    _check(
+        isinstance(feature_names, list) and feature_names,
+        f"{label}: 'feature_names' must be a non-empty list",
+    )
+    _check(isinstance(nodes, list) and nodes, f"{label}: 'nodes' must be a non-empty list")
+
+    try:
+        model = DecisionTreeClassifier(
+            max_depth=payload.get("max_depth"),
+            min_samples_split=int(payload.get("min_samples_split", 2)),
+            min_samples_leaf=int(payload.get("min_samples_leaf", 1)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ModelArtifactError(f"{label}: invalid tree parameters ({exc})") from exc
+    model.num_features_ = len(feature_names)
+    model.feature_names_ = [str(name) for name in feature_names]
+    try:
+        model._encoder = LabelEncoder.from_classes(classes)
+    except (TypeError, ValueError) as exc:
+        raise ModelArtifactError(f"{label}: invalid classes ({exc})") from exc
+    num_features = len(feature_names)
+    num_classes = len(classes)
+    visited = set()
+
+    def build(index: int, depth: int) -> TreeNode:
+        _check(
+            isinstance(index, int) and 0 <= index < len(nodes),
+            f"{label}: child index {index!r} out of range",
+        )
+        _check(index not in visited, f"{label}: node {index} referenced twice")
+        visited.add(index)
+        raw = nodes[index]
+        _check(isinstance(raw, dict), f"{label}: node {index} must be an object")
+        try:
+            counts = np.asarray(raw["class_counts"], dtype=np.float64)
+            feature = int(raw["feature"])
+            threshold = float(raw["threshold"])
+            left = raw["left"]
+            right = raw["right"]
+            node = TreeNode(
+                node_id=index,
+                depth=depth,
+                num_samples=int(raw["num_samples"]),
+                total_weight=float(raw["total_weight"]),
+                impurity=float(raw["impurity"]),
+                class_counts=counts,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelArtifactError(
+                f"{label}: node {index} is malformed ({exc})"
+            ) from exc
+        _check(
+            counts.ndim == 1 and counts.shape[0] == num_classes,
+            f"{label}: node {index} has {counts.shape} class counts, "
+            f"expected {num_classes}",
+        )
+        if feature == -1:
+            _check(
+                left == -1 and right == -1,
+                f"{label}: leaf node {index} must have no children",
+            )
+            return node
+        _check(
+            0 <= feature < num_features,
+            f"{label}: node {index} splits on feature {feature}, schema has "
+            f"{num_features}",
+        )
+        _check(
+            math.isfinite(threshold),
+            f"{label}: node {index} has a non-finite threshold",
+        )
+        node.feature = feature
+        node.threshold = threshold
+        node.left = build(left, depth + 1)
+        node.right = build(right, depth + 1)
+        return node
+
+    model.root_ = build(0, 0)
+    _check(
+        len(visited) == len(nodes),
+        f"{label}: {len(nodes) - len(visited)} node(s) unreachable from the root",
+    )
+    model._num_nodes = len(nodes)
+    return model
+
+
+# ----------------------------------------------------------------------
+# SeerModels <-> payload
+# ----------------------------------------------------------------------
+def models_to_payload(
+    models: SeerModels,
+    domain=None,
+    training_config=None,
+) -> dict:
+    """JSON-serializable form of a full trained model bundle."""
+    training = asdict(training_config) if training_config is not None else None
+    domain_name = None
+    if domain is not None:
+        domain_name = domain if isinstance(domain, str) else domain.name
+    return {
+        "format": MODEL_FORMAT,
+        "format_version": MODEL_FORMAT_VERSION,
+        "domain": domain_name,
+        "kernel_names": list(models.kernel_names),
+        "known_feature_names": list(models.known_feature_names),
+        "gathered_feature_names": list(models.gathered_feature_names),
+        "training_size": int(models.training_size),
+        "training": training,
+        "trees": {
+            "known": tree_to_payload(models.known_model),
+            "gathered": tree_to_payload(models.gathered_model),
+            "selector": tree_to_payload(models.selector_model),
+        },
+    }
+
+
+def models_from_payload(payload, domain=None) -> SeerModels:
+    """Rebuild a :class:`SeerModels` from :func:`models_to_payload` output.
+
+    ``domain`` (name or instance, optional) additionally validates that the
+    artifact's feature schemas and kernel labels match the domain it is
+    about to serve — a model trained on one schema must never silently
+    score feature rows laid out for another.
+    """
+    _check(isinstance(payload, dict), "model artifact must be a JSON object")
+    _check(
+        payload.get("format") == MODEL_FORMAT,
+        f"not a Seer model artifact (format marker "
+        f"{payload.get('format')!r}, expected {MODEL_FORMAT!r})",
+    )
+    version = payload.get("format_version")
+    _check(
+        version == MODEL_FORMAT_VERSION,
+        f"unsupported model format version {version!r} "
+        f"(this build reads version {MODEL_FORMAT_VERSION})",
+    )
+    for key in (
+        "kernel_names",
+        "known_feature_names",
+        "gathered_feature_names",
+        "trees",
+    ):
+        _check(key in payload, f"model artifact is missing key {key!r}")
+    trees = payload["trees"]
+    _check(isinstance(trees, dict), "'trees' must be an object")
+    for key in ("known", "gathered", "selector"):
+        _check(key in trees, f"model artifact is missing the {key!r} tree")
+    for key in ("kernel_names", "known_feature_names", "gathered_feature_names"):
+        value = payload[key]
+        _check(
+            isinstance(value, list)
+            and all(isinstance(item, str) for item in value),
+            f"{key!r} must be a list of strings",
+        )
+
+    known_names = tuple(payload["known_feature_names"])
+    gathered_names = tuple(payload["gathered_feature_names"])
+    kernel_names = list(payload["kernel_names"])
+    _check(bool(kernel_names), "'kernel_names' must be non-empty")
+
+    known_model = tree_from_payload(trees["known"], "known tree")
+    gathered_model = tree_from_payload(trees["gathered"], "gathered tree")
+    selector_model = tree_from_payload(trees["selector"], "selector tree")
+
+    _check(
+        known_model.num_features_ == len(known_names),
+        f"known tree expects {known_model.num_features_} features, schema "
+        f"names {len(known_names)}",
+    )
+    _check(
+        gathered_model.num_features_ == len(known_names) + len(gathered_names),
+        f"gathered tree expects {gathered_model.num_features_} features, "
+        f"schema names {len(known_names) + len(gathered_names)}",
+    )
+    _check(
+        selector_model.num_features_ == len(known_names),
+        f"selector tree expects {selector_model.num_features_} features, "
+        f"schema names {len(known_names)}",
+    )
+    bad_selector_classes = set(selector_model.classes_) - {USE_KNOWN, USE_GATHERED}
+    _check(
+        not bad_selector_classes,
+        f"selector tree predicts unknown classes {sorted(bad_selector_classes)}",
+    )
+    unknown_kernels = set(known_model.classes_) | set(gathered_model.classes_)
+    unknown_kernels -= set(kernel_names)
+    _check(
+        not unknown_kernels,
+        f"trees predict kernels {sorted(unknown_kernels)} absent from "
+        f"'kernel_names'",
+    )
+
+    if domain is not None:
+        from repro.domains import get_domain
+
+        domain = get_domain(domain)
+        artifact_domain = payload.get("domain")
+        _check(
+            artifact_domain is None or artifact_domain == domain.name,
+            f"model artifact was trained for domain {artifact_domain!r}, "
+            f"not {domain.name!r}",
+        )
+        _check(
+            known_names == tuple(domain.known_feature_names),
+            f"known-feature schema mismatch: artifact {list(known_names)}, "
+            f"domain {domain.name!r} declares {list(domain.known_feature_names)}",
+        )
+        _check(
+            gathered_names == tuple(domain.gathered_feature_names),
+            f"gathered-feature schema mismatch: artifact "
+            f"{list(gathered_names)}, domain {domain.name!r} declares "
+            f"{list(domain.gathered_feature_names)}",
+        )
+        registered = set(domain.kernel_names(include_aux=True))
+        missing = set(kernel_names) - registered
+        _check(
+            not missing,
+            f"model artifact selects kernels {sorted(missing)} that domain "
+            f"{domain.name!r} does not register",
+        )
+
+    try:
+        training_size = int(payload.get("training_size", 0))
+    except (TypeError, ValueError) as exc:
+        raise ModelArtifactError(f"invalid 'training_size' ({exc})") from exc
+    return SeerModels(
+        known_model=known_model,
+        gathered_model=gathered_model,
+        selector_model=selector_model,
+        kernel_names=kernel_names,
+        known_feature_names=known_names,
+        gathered_feature_names=gathered_names,
+        training_size=training_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def dump_model_document(payload: dict) -> str:
+    """Canonical JSON text of a model payload (sorted keys, LF, newline-terminated)."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def save_models(
+    models: SeerModels,
+    path,
+    domain=None,
+    training_config=None,
+) -> Path:
+    """Write ``models`` as a canonical ``model.json`` document at ``path``.
+
+    The write is atomic (temp file + rename, the same discipline as the
+    sweep engine's cache tiers): a killed save or a concurrent reader can
+    never observe a truncated artifact under a valid path.
+    """
+    from repro.bench.engine import atomic_write_bytes
+
+    path = Path(path)
+    payload = models_to_payload(models, domain=domain, training_config=training_config)
+    atomic_write_bytes(path, dump_model_document(payload).encode("utf-8"))
+    return path
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A loaded model bundle plus the metadata its document carried."""
+
+    models: SeerModels
+    domain_name: Optional[str]
+    training: Optional[dict]
+    path: Optional[Path] = None
+
+
+def load_artifact(path, domain=None) -> ModelArtifact:
+    """Read and validate a ``model.json`` document (or its directory)."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / MODEL_FILE_NAME
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ModelArtifactError(f"cannot read model artifact {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ModelArtifactError(
+            f"model artifact {path} is not valid JSON (truncated or "
+            f"corrupted?): {exc}"
+        ) from exc
+    models = models_from_payload(payload, domain=domain)
+    return ModelArtifact(
+        models=models,
+        domain_name=payload.get("domain"),
+        training=payload.get("training"),
+        path=path,
+    )
+
+
+def load_models(path, domain=None) -> SeerModels:
+    """Load just the :class:`SeerModels` from a ``model.json`` document."""
+    return load_artifact(path, domain=domain).models

@@ -1,0 +1,107 @@
+"""Flattened decision trees for vectorized batch inference.
+
+The paper's pitch for decision trees is that they are "effectively nested
+if/else statements" — cheap to evaluate and auditable.  The recursive
+:meth:`~repro.ml.decision_tree.DecisionTreeClassifier.predict` walk is the
+readable reference implementation of that evaluation, but it pays Python
+call overhead per sample per level.  For serving whole batches (sweep
+evaluation, CSV scoring, the ``repro predict --batch`` verb) each fitted
+tree is *compiled* once into five parallel NumPy arrays — feature index,
+threshold, left/right child and leaf class code per node — and a batch of N
+feature rows is pushed through all levels simultaneously: one vectorized
+compare-and-gather per tree level instead of N recursive walks.
+
+The compiled evaluation is exact, not approximate: it performs the same
+``feature <= threshold`` comparisons on the same float64 values as the
+recursive walk, so the two paths agree element-wise on every input
+(differential-tested in ``tests/serving``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Child index/leaf code meaning "none" in the serialized node arrays.
+NO_NODE = -1
+
+
+@dataclass(frozen=True)
+class CompiledTree:
+    """One fitted tree flattened into parallel arrays (pre-order).
+
+    Leaves are encoded as self-loops: their ``feature`` is 0, their
+    ``threshold`` is ``+inf`` and both children point back at the leaf
+    itself, so ``X[:, 0] <= +inf`` keeps every row parked on its leaf while
+    other rows are still descending.  (NaN features compare false and take
+    the right child — exactly like the recursive walk.)  ``leaf_code`` holds
+    the predicted class code at leaves and ``-1`` at internal nodes.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    leaf_code: np.ndarray
+    depth: int
+    num_features: int
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes in the flattened tree."""
+        return int(self.feature.shape[0])
+
+    def predict_codes(self, X) -> np.ndarray:
+        """Class codes of every row of ``X``, all rows advanced per level."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {X.shape[1]}"
+            )
+        indices = np.zeros(X.shape[0], dtype=np.int64)
+        rows = np.arange(X.shape[0])
+        for _ in range(self.depth):
+            go_left = X[rows, self.feature[indices]] <= self.threshold[indices]
+            indices = np.where(go_left, self.left[indices], self.right[indices])
+        return self.leaf_code[indices]
+
+
+def compile_tree(model) -> CompiledTree:
+    """Flatten a fitted :class:`DecisionTreeClassifier` into arrays.
+
+    Nodes are laid out in pre-order (the order ``model.nodes()`` yields
+    them), children referenced by array index.
+    """
+    if model.root_ is None:
+        raise RuntimeError("cannot compile an unfitted tree")
+    feature, threshold, left, right, leaf_code = [], [], [], [], []
+
+    def add(node) -> int:
+        index = len(feature)
+        if node.is_leaf:
+            feature.append(0)
+            threshold.append(np.inf)
+            left.append(index)
+            right.append(index)
+            leaf_code.append(node.prediction)
+        else:
+            feature.append(node.feature)
+            threshold.append(node.threshold)
+            left.append(NO_NODE)
+            right.append(NO_NODE)
+            leaf_code.append(NO_NODE)
+            left[index] = add(node.left)
+            right[index] = add(node.right)
+        return index
+
+    add(model.root_)
+    return CompiledTree(
+        feature=np.asarray(feature, dtype=np.int64),
+        threshold=np.asarray(threshold, dtype=np.float64),
+        left=np.asarray(left, dtype=np.int64),
+        right=np.asarray(right, dtype=np.int64),
+        leaf_code=np.asarray(leaf_code, dtype=np.int64),
+        depth=model.depth(),
+        num_features=model.num_features_,
+    )

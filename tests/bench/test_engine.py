@@ -108,6 +108,45 @@ def test_corrupt_sweep_artifact_is_recomputed(tmp_path):
     assert second.test_report.aggregate_table() == first.test_report.aggregate_table()
 
 
+def test_truncated_sweep_pickle_is_recomputed(tmp_path):
+    """A half-written pickle (e.g. a killed process) is a miss, not a crash."""
+    engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+    first = run_sweep(profile="tiny", iteration_counts=(1,), engine=engine)
+    [artifact] = (tmp_path / "sweeps").glob("*.pkl")
+    artifact.write_bytes(artifact.read_bytes()[: artifact.stat().st_size // 2])
+
+    retry = SweepEngine(jobs=1, cache_dir=tmp_path)
+    second = run_sweep(profile="tiny", iteration_counts=(1,), engine=retry)
+    assert retry.stats.sweep_cache_misses == 1
+    assert second.test_report.aggregate_table() == first.test_report.aggregate_table()
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [b"{ not json at all", b"", b'{"valid": "json", "wrong": "shape"}'],
+    ids=["garbage", "empty", "wrong-shape"],
+)
+def test_corrupt_measurement_artifact_is_remeasured(tmp_path, corruption):
+    """Unreadable measurement JSONs — including *valid* JSON with the wrong
+    shape — are re-measured and overwritten, never fatal."""
+    populate = SweepEngine(jobs=1, cache_dir=tmp_path)
+    first = run_sweep(profile="tiny", iteration_counts=(1,), engine=populate)
+    measurement_paths = sorted((tmp_path / "measurements").glob("*.json"))
+    assert measurement_paths
+    for path in measurement_paths:
+        path.write_bytes(corruption)
+    shutil.rmtree(tmp_path / "sweeps")
+
+    retry = SweepEngine(jobs=1, cache_dir=tmp_path)
+    second = run_sweep(profile="tiny", iteration_counts=(1,), engine=retry)
+    assert retry.stats.measurement_cache_hits == 0
+    assert retry.stats.matrices_measured == len(first.suite)
+    assert second.test_report.aggregate_table() == first.test_report.aggregate_table()
+    # The corrupted slots were overwritten with readable artifacts.
+    for path in measurement_paths:
+        measurement_from_dict(json.loads(path.read_text()))
+
+
 def test_cacheless_engine_writes_nothing(tmp_path):
     engine = SweepEngine(jobs=1)
     run_sweep(profile="tiny", iteration_counts=(1,), engine=engine)

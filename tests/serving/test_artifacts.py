@@ -1,0 +1,283 @@
+"""Model artifact tests: golden stability, validation and the registry.
+
+The golden ``goldens/model.json`` pins the serialized form of the tiny
+SpMV profile's trained models byte for byte; regenerate after an
+*intentional* change with::
+
+    SEER_UPDATE_GOLDENS=1 python -m pytest tests/serving/test_artifacts.py
+"""
+
+import copy
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.training import TrainingConfig
+from repro.bench.engine import sweep_config_key
+from repro.serving.artifacts import (
+    MODEL_FORMAT_VERSION,
+    ModelArtifactError,
+    dump_model_document,
+    load_artifact,
+    load_models,
+    models_from_payload,
+    models_to_payload,
+    save_models,
+)
+from repro.serving.registry import MANIFEST_FILE_NAME, ModelRegistry
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_MODEL = GOLDEN_DIR / "model.json"
+
+
+def _tiny_document(models) -> str:
+    return dump_model_document(
+        models_to_payload(models, domain="spmv", training_config=TrainingConfig())
+    )
+
+
+# ----------------------------------------------------------------------
+# Golden artifact
+# ----------------------------------------------------------------------
+def test_tiny_spmv_model_matches_golden(tiny_sweep):
+    document = _tiny_document(tiny_sweep.models)
+    if os.environ.get("SEER_UPDATE_GOLDENS"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        GOLDEN_MODEL.write_bytes(document.encode("utf-8"))
+        pytest.skip("regenerated golden model.json")
+    assert GOLDEN_MODEL.exists(), (
+        f"missing golden {GOLDEN_MODEL}; regenerate with SEER_UPDATE_GOLDENS=1"
+    )
+    assert document.encode("utf-8") == GOLDEN_MODEL.read_bytes(), (
+        "serialized model drifted from its golden; if the change is "
+        "intentional, regenerate with SEER_UPDATE_GOLDENS=1"
+    )
+
+
+def test_save_load_save_is_byte_stable(tiny_sweep, tmp_path):
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    save_models(
+        tiny_sweep.models, first, domain="spmv", training_config=TrainingConfig()
+    )
+    reloaded = load_models(first, domain="spmv")
+    save_models(reloaded, second, domain="spmv", training_config=TrainingConfig())
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_golden_model_loads_and_validates():
+    if not GOLDEN_MODEL.exists():
+        pytest.skip("golden not generated yet")
+    models = load_models(GOLDEN_MODEL, domain="spmv")
+    assert models.known_feature_names == ("rows", "cols", "nnz", "iterations")
+    assert models.training_size > 0
+
+
+# ----------------------------------------------------------------------
+# Robustness: corrupted / incompatible artifacts
+# ----------------------------------------------------------------------
+def _payload(tiny_sweep) -> dict:
+    return models_to_payload(tiny_sweep.models, domain="spmv")
+
+
+def test_missing_artifact_raises_clear_error(tmp_path):
+    with pytest.raises(ModelArtifactError, match="cannot read"):
+        load_artifact(tmp_path / "nope" / "model.json")
+
+
+def test_garbage_artifact_raises_clear_error(tmp_path):
+    path = tmp_path / "model.json"
+    path.write_bytes(b"\x00\x01 this is not json")
+    with pytest.raises(ModelArtifactError, match="not valid JSON"):
+        load_artifact(path)
+
+
+def test_truncated_artifact_raises_clear_error(tiny_sweep, tmp_path):
+    path = save_models(tiny_sweep.models, tmp_path / "model.json", domain="spmv")
+    path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+    with pytest.raises(ModelArtifactError, match="not valid JSON"):
+        load_artifact(path)
+
+
+def test_wrong_format_marker_is_rejected(tmp_path):
+    path = tmp_path / "model.json"
+    path.write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(ModelArtifactError, match="not a Seer model artifact"):
+        load_artifact(path)
+
+
+def test_future_format_version_is_rejected(tiny_sweep):
+    payload = _payload(tiny_sweep)
+    payload["format_version"] = MODEL_FORMAT_VERSION + 1
+    with pytest.raises(ModelArtifactError, match="unsupported model format version"):
+        models_from_payload(payload)
+
+
+def test_missing_tree_is_rejected(tiny_sweep):
+    payload = _payload(tiny_sweep)
+    del payload["trees"]["selector"]
+    with pytest.raises(ModelArtifactError, match="missing the 'selector' tree"):
+        models_from_payload(payload)
+
+
+def test_out_of_range_child_index_is_rejected(tiny_sweep):
+    payload = copy.deepcopy(_payload(tiny_sweep))
+    nodes = payload["trees"]["known"]["nodes"]
+    nodes[0]["left"] = len(nodes) + 5
+    with pytest.raises(ModelArtifactError, match="out of range"):
+        models_from_payload(payload)
+
+
+def test_out_of_range_feature_index_is_rejected(tiny_sweep):
+    payload = copy.deepcopy(_payload(tiny_sweep))
+    payload["trees"]["known"]["nodes"][0]["feature"] = 99
+    with pytest.raises(ModelArtifactError, match="splits on feature 99"):
+        models_from_payload(payload)
+
+
+def test_non_finite_threshold_is_rejected(tiny_sweep):
+    payload = copy.deepcopy(_payload(tiny_sweep))
+    payload["trees"]["known"]["nodes"][0]["threshold"] = float("nan")
+    with pytest.raises(ModelArtifactError, match="non-finite threshold"):
+        models_from_payload(payload)
+
+
+def test_foreign_selector_class_is_rejected(tiny_sweep):
+    payload = copy.deepcopy(_payload(tiny_sweep))
+    classes = payload["trees"]["selector"]["classes"]
+    payload["trees"]["selector"]["classes"] = ["bogus"] + classes[1:]
+    with pytest.raises(ModelArtifactError, match="unknown classes"):
+        models_from_payload(payload)
+
+
+def test_duplicate_tree_classes_are_rejected(tiny_sweep):
+    payload = copy.deepcopy(_payload(tiny_sweep))
+    classes = payload["trees"]["known"]["classes"]
+    payload["trees"]["known"]["classes"] = [classes[0]] * len(classes)
+    with pytest.raises(ModelArtifactError, match="invalid classes"):
+        models_from_payload(payload)
+
+
+def test_non_list_schema_names_are_rejected(tiny_sweep):
+    payload = copy.deepcopy(_payload(tiny_sweep))
+    payload["known_feature_names"] = 5
+    with pytest.raises(ModelArtifactError, match="list of strings"):
+        models_from_payload(payload)
+
+
+def test_registry_treats_wrong_shape_entry_as_miss(tiny_sweep, tmp_path):
+    """Valid JSON with broken content is a miss too, not a crash."""
+    registry = ModelRegistry(tmp_path)
+    path = registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
+    payload = json.loads(path.read_text())
+    payload["trees"]["known"]["classes"] = [["unhashable"]]
+    path.write_text(json.dumps(payload))
+    assert registry.load_or_none(domain="spmv", profile="tiny") is None
+
+
+def test_domain_name_mismatch_is_rejected(tiny_sweep):
+    payload = _payload(tiny_sweep)
+    with pytest.raises(ModelArtifactError, match="trained for domain 'spmv'"):
+        models_from_payload(payload, domain="spmm")
+
+
+def test_schema_mismatch_is_rejected(tiny_sweep):
+    payload = copy.deepcopy(_payload(tiny_sweep))
+    payload["domain"] = None  # defeat the name check, keep the schema check
+    payload["known_feature_names"] = ["a", "b", "c", "iterations"]
+    payload["trees"]["known"]["feature_names"] = ["a", "b", "c", "iterations"]
+    payload["trees"]["selector"]["feature_names"] = ["a", "b", "c", "iterations"]
+    with pytest.raises(ModelArtifactError, match="known-feature schema mismatch"):
+        models_from_payload(payload, domain="spmv")
+
+
+def test_unregistered_kernel_is_rejected(tiny_sweep):
+    payload = copy.deepcopy(_payload(tiny_sweep))
+    index = payload["kernel_names"].index("rocSPARSE")
+    payload["kernel_names"][index] = "madeUpKernel"
+    for tree in payload["trees"].values():
+        tree["classes"] = [
+            "madeUpKernel" if label == "rocSPARSE" else label
+            for label in tree["classes"]
+        ]
+    with pytest.raises(ModelArtifactError, match="does not register"):
+        models_from_payload(payload, domain="spmv")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_save_find_load_roundtrip(tiny_sweep, tmp_path):
+    registry = ModelRegistry(tmp_path / "models")
+    path = registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
+    assert path.name == "model.json"
+    assert path.parent.parent.name == "tiny"
+    assert path.parent.parent.parent.name == "spmv"
+    assert (path.parent / MANIFEST_FILE_NAME).is_file()
+
+    found = registry.find(domain="spmv", profile="tiny")
+    assert found == path
+    loaded = registry.load(domain="spmv", profile="tiny")
+    known = tiny_sweep.test_set.known_matrix()
+    gathered = tiny_sweep.test_set.gathered_matrix()
+    assert loaded.predict_batch(known, gathered) == tiny_sweep.models.predict_batch(
+        known, gathered
+    )
+
+
+def test_registry_key_matches_engine_sweep_key(tmp_path):
+    from repro.core.dataset import DEFAULT_ITERATION_COUNTS
+    from repro.domains import get_domain
+    from repro.gpu.device import MI100
+
+    registry = ModelRegistry(tmp_path)
+    domain = get_domain("spmv")
+    assert registry.key_for(domain="spmv", profile="tiny") == sweep_config_key(
+        "tiny",
+        7,
+        13,
+        DEFAULT_ITERATION_COUNTS,
+        MI100,
+        domain.kernel_names(include_aux=True),
+        None,
+        domain,
+    )
+
+
+def test_registry_manifest_records_the_configuration(tiny_sweep, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    path = registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
+    manifest = json.loads((path.parent / MANIFEST_FILE_NAME).read_text())
+    assert manifest["domain"] == "spmv"
+    assert manifest["profile"] == "tiny"
+    assert manifest["key"] == path.parent.name
+    assert manifest["kernels"] == list(tiny_sweep.models.kernel_names)
+
+
+def test_registry_miss_returns_none_and_load_raises(tmp_path):
+    registry = ModelRegistry(tmp_path)
+    assert registry.find(domain="spmv", profile="tiny") is None
+    assert registry.load_or_none(domain="spmv", profile="tiny") is None
+    with pytest.raises(ModelArtifactError, match="no model registered"):
+        registry.load(domain="spmv", profile="tiny")
+
+
+def test_registry_treats_corrupt_entry_as_miss(tiny_sweep, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    path = registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
+    path.write_bytes(b"corrupted beyond repair")
+    assert registry.load_or_none(domain="spmv", profile="tiny") is None
+    with pytest.raises(ModelArtifactError):
+        registry.load(domain="spmv", profile="tiny")
+
+
+def test_registry_resave_is_byte_identical(tiny_sweep, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    path = registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
+    first = path.read_bytes()
+    manifest_first = (path.parent / MANIFEST_FILE_NAME).read_bytes()
+    registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
+    assert path.read_bytes() == first
+    assert (path.parent / MANIFEST_FILE_NAME).read_bytes() == manifest_first

@@ -136,3 +136,107 @@ def test_cli_experiments_run_requires_names_or_all():
 def test_cli_experiments_run_suggests_close_matches():
     with pytest.raises(SystemExit, match="did you mean"):
         main(["experiments", "run", "fig11"])
+
+
+# ----------------------------------------------------------------------
+# The serving verbs: train --save / predict
+# ----------------------------------------------------------------------
+def _train_tiny(tmp_path, capsys) -> str:
+    """Run ``repro train`` into a tmp registry and return the model path."""
+    assert main(
+        ["train", "--profile", "tiny", "--save", str(tmp_path / "models")]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "registered model:" in output
+    return output.rsplit("registered model:", 1)[1].strip()
+
+
+def test_cli_train_registers_a_model(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    assert model_path.endswith("model.json")
+    parts = model_path.split("/")
+    assert parts[-4:-2] == ["spmv", "tiny"]
+
+
+def test_cli_predict_prints_the_model_summary(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    assert main(["predict", "--model", model_path]) == 0
+    output = capsys.readouterr().out
+    assert "domain: spmv" in output
+    assert "known features: rows, cols, nnz, iterations" in output
+    assert "selector tree:" in output
+
+
+def test_cli_predict_serves_a_feature_batch(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    batch = tmp_path / "batch.csv"
+    batch.write_text(
+        "name,rows,cols,nnz,iterations,max_row_density,min_row_density,"
+        "mean_row_density,var_row_density\n"
+        "small,512,512,4096,1,0.05,0.001,0.015,0.0001\n"
+        "large,200000,200000,2400000,19,0.4,0.0,0.00006,0.0005\n"
+    )
+    assert main(["predict", "--model", model_path, "--batch", str(batch)]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0] == "name,selector_choice,kernel"
+    assert len(lines) == 3
+    assert lines[1].startswith("small,")
+    assert lines[2].startswith("large,")
+
+
+def test_cli_predict_rejects_missing_feature_columns(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    batch = tmp_path / "batch.csv"
+    batch.write_text("rows,cols\n1,2\n")
+    with pytest.raises(SystemExit, match="missing known feature column"):
+        main(["predict", "--model", model_path, "--batch", str(batch)])
+
+
+def test_cli_predict_rejects_non_numeric_cells(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    batch = tmp_path / "batch.csv"
+    batch.write_text("rows,cols,nnz,iterations\n10,10,banana,1\n")
+    with pytest.raises(SystemExit, match="non-numeric value"):
+        main(["predict", "--model", model_path, "--batch", str(batch)])
+
+
+def test_cli_predict_demands_gathered_columns_when_routed(tmp_path):
+    """A known-only CSV cannot serve rows the selector routes to gathered."""
+    from repro.core.training import SeerModels
+    from repro.ml.decision_tree import DecisionTreeClassifier
+    from repro.serving.artifacts import save_models
+
+    known_X = [[0.0], [1.0]]
+    full_X = [[0.0, 0.0], [1.0, 1.0]]
+    models = SeerModels(
+        known_model=DecisionTreeClassifier().fit(known_X, ["k1", "k1"]),
+        gathered_model=DecisionTreeClassifier().fit(full_X, ["k1", "k1"]),
+        selector_model=DecisionTreeClassifier().fit(
+            known_X, ["gathered", "gathered"]
+        ),
+        kernel_names=["k1"],
+        known_feature_names=("f0",),
+        gathered_feature_names=("g0",),
+        training_size=2,
+    )
+    model_path = save_models(models, tmp_path / "model.json")
+    batch = tmp_path / "batch.csv"
+    batch.write_text("f0\n0.5\n")
+    with pytest.raises(SystemExit, match="routed to the gathered classifier"):
+        main(["predict", "--model", str(model_path), "--batch", str(batch)])
+
+
+def test_cli_predict_rejects_corrupt_artifacts(tmp_path):
+    bogus = tmp_path / "model.json"
+    bogus.write_text("{ definitely not a model")
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(["predict", "--model", str(bogus)])
+
+
+def test_cli_experiments_run_accepts_model_dir(tmp_path, capsys):
+    assert main(
+        ["experiments", "run", "accuracy", "--profile", "tiny",
+         "--model-dir", str(tmp_path / "models")]
+    ) == 0
+    registry_files = list((tmp_path / "models").rglob("model.json"))
+    assert len(registry_files) == 1
