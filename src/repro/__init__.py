@@ -47,11 +47,18 @@ from repro.domains import (
 from repro.gpu import MI100, DeviceSpec, get_device
 from repro.kernels import default_kernels, make_kernel
 from repro.ml import DecisionTreeClassifier, kendall_tau
+from repro.pipeline import (
+    FeatureBundle,
+    FeaturePipeline,
+    MatrixSource,
+    discover_sources,
+)
 from repro.serving import (
     ModelArtifactError,
     ModelRegistry,
     load_models,
     save_models,
+    serve_sources,
 )
 from repro.sparse import (
     COOMatrix,
@@ -94,10 +101,15 @@ __all__ = [
     "make_kernel",
     "DecisionTreeClassifier",
     "kendall_tau",
+    "FeatureBundle",
+    "FeaturePipeline",
+    "MatrixSource",
+    "discover_sources",
     "ModelArtifactError",
     "ModelRegistry",
     "load_models",
     "save_models",
+    "serve_sources",
     "COOMatrix",
     "CSRMatrix",
     "ELLMatrix",

@@ -50,7 +50,6 @@ Cache layout::
 from __future__ import annotations
 
 import hashlib
-import io
 import json
 import os
 import pickle
@@ -62,14 +61,13 @@ from typing import Optional
 from functools import lru_cache
 from pathlib import Path
 
-import numpy as np
-
 from repro.bench.runner import DEFAULT_SEED, DEFAULT_SPLIT_SEED
 from repro.core.benchmarking import BenchmarkSuite, MatrixMeasurement, measure_matrix
 from repro.core.dataset import DEFAULT_ITERATION_COUNTS
 from repro.core.training import TrainingConfig
 from repro.domains import get_domain, spec_payload
 from repro.gpu.device import MI100, DeviceSpec
+from repro.sparse import io as sparse_io
 from repro.sparse.collection import CollectionProfile
 from repro.sparse.csr import CSRMatrix
 
@@ -111,10 +109,19 @@ def generator_code_version() -> str:
     return _digest_sources(Path(__file__).resolve().parent.parent / "sparse")
 
 
-def _stable_hash(payload: dict) -> str:
-    """Deterministic short hash of a JSON-serializable payload."""
+def stable_hash(payload: dict) -> str:
+    """Deterministic short hash of a JSON-serializable payload.
+
+    Shared cache-keying primitive of every artifact tier: the engine's
+    measurement/sweep/matrix tiers, the model registry and the serving
+    layer's ingest cache all key by this hash.
+    """
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+#: Backward-compatible alias of :func:`stable_hash`.
+_stable_hash = stable_hash
 
 
 def measurement_key(spec, kernel_labels, device: DeviceSpec, domain=None) -> str:
@@ -235,29 +242,19 @@ def measurement_from_dict(payload: dict, domain=None) -> MatrixMeasurement:
 # CSRMatrix <-> npz artifacts
 # ----------------------------------------------------------------------
 def matrix_to_bytes(matrix: CSRMatrix) -> bytes:
-    """Serialized ``.npz`` form of one generated matrix."""
-    buffer = io.BytesIO()
-    np.savez(
-        buffer,
-        num_rows=np.int64(matrix.num_rows),
-        num_cols=np.int64(matrix.num_cols),
-        row_offsets=matrix.row_offsets,
-        col_indices=matrix.col_indices,
-        values=matrix.values,
-    )
-    return buffer.getvalue()
+    """Serialized ``.npz`` form of one generated matrix.
+
+    The layout is :func:`repro.sparse.io.csr_to_npz_bytes` — the same
+    archive format ``save_npz``/``load_npz`` and the serving layer's ingest
+    cache use, so every ``.npz`` matrix artifact in the system round-trips
+    through one reader.
+    """
+    return sparse_io.csr_to_npz_bytes(matrix)
 
 
 def matrix_from_bytes(data: bytes) -> CSRMatrix:
     """Inverse of :func:`matrix_to_bytes`."""
-    with np.load(io.BytesIO(data)) as arrays:
-        return CSRMatrix(
-            num_rows=int(arrays["num_rows"]),
-            num_cols=int(arrays["num_cols"]),
-            row_offsets=arrays["row_offsets"],
-            col_indices=arrays["col_indices"],
-            values=arrays["values"],
-        )
+    return sparse_io.csr_from_npz_bytes(data)
 
 
 def atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -309,7 +306,7 @@ def _measure_spec_chunk(
     """
     domain = get_domain(domain)
     kernels = [domain.make_kernel(label, device) for label in kernel_labels]
-    collector = domain.make_collector(device)
+    pipeline = domain.make_pipeline(device)
     matrix_dir = Path(matrix_dir) if matrix_dir is not None else None
     measurements = []
     generated = 0
@@ -328,8 +325,35 @@ def _measure_spec_chunk(
         else:
             matrix_hits += 1
         workload = domain.workload_from_matrix(spec, matrix)
-        measurements.append(measure_matrix(spec.name, workload, kernels, collector, domain=domain))
+        measurements.append(measure_matrix(spec.name, workload, kernels, pipeline, domain=domain))
     return measurements, generated, matrix_hits
+
+
+def run_chunked(worker, items, jobs: int, chunks_per_job: int = 4, args=()) -> list:
+    """Fan ``worker(chunk, *args)`` out over processes, in deterministic order.
+
+    The engine's benchmarking stage and the serving layer's ingestion stage
+    share this process-pool shape: items are split into ``jobs *
+    chunks_per_job`` contiguous chunks (smoothing load imbalance between
+    cheap and expensive items), futures are collected in submission order,
+    and the per-chunk results come back as one list — so a parallel run
+    reassembles bit-identically to the serial loop.  ``jobs == 0`` means one
+    worker per CPU (as everywhere in the API); ``jobs == 1`` (or a single
+    item) short-circuits to an in-process call.
+    """
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        return [worker(items, *args)]
+    chunk_size = max(1, -(-len(items) // (jobs * max(1, chunks_per_job))))
+    chunks = [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        futures = [pool.submit(worker, chunk, *args) for chunk in chunks]
+        # Submission order == item order.
+        return [future.result() for future in futures]
 
 
 @dataclass
@@ -473,29 +497,13 @@ class SweepEngine:
 
     def _run_pending(self, specs, kernel_labels, device: DeviceSpec, domain) -> list:
         """Benchmark uncached specs, parallel when the engine has workers."""
-        matrix_dir = self._matrix_dir()
-        if self.jobs == 1 or len(specs) <= 1:
-            chunk_results = [_measure_spec_chunk(specs, kernel_labels, device, domain, matrix_dir)]
-        else:
-            chunk_size = max(1, -(-len(specs) // (self.jobs * self.chunks_per_job)))
-            chunks = [
-                specs[start : start + chunk_size]
-                for start in range(0, len(specs), chunk_size)
-            ]
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks))) as pool:
-                futures = [
-                    pool.submit(
-                        _measure_spec_chunk,
-                        chunk,
-                        kernel_labels,
-                        device,
-                        domain,
-                        matrix_dir,
-                    )
-                    for chunk in chunks
-                ]
-                # Submission order == spec order.
-                chunk_results = [future.result() for future in futures]
+        chunk_results = run_chunked(
+            _measure_spec_chunk,
+            specs,
+            jobs=self.jobs,
+            chunks_per_job=self.chunks_per_job,
+            args=(kernel_labels, device, domain, self._matrix_dir()),
+        )
         measurements = []
         for chunk_measurements, generated, matrix_hits in chunk_results:
             measurements.extend(chunk_measurements)

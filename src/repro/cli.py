@@ -10,6 +10,7 @@ the pipeline stages, the model registry and the experiment suite:
    repro train --profile small --save models/      # train once, register
    repro predict --model models/spmv/small/<hash>  # inspect the artifact
    repro predict --model ... --batch features.csv  # serve a feature batch
+   repro serve --model ... matrices/ --jobs 4      # serve raw matrix files
    repro experiments list                          # registered experiments
    repro experiments run --all --domain spmv --profile tiny --out-dir out/
    repro experiments run fig1 table3 --domain spmm --profile tiny
@@ -179,25 +180,19 @@ def _batch_rows(path: Path) -> list:
 
 
 def _feature_matrix(rows, names, path, kind: str):
-    """Extract the named feature columns of every row as floats."""
-    matrix = []
-    for line, row in enumerate(rows, start=2):
-        vector = []
-        for name in names:
-            try:
-                vector.append(float(row[name]))
-            except (KeyError, TypeError):
-                raise SystemExit(
-                    f"repro: error: {path}:{line} is missing {kind} feature "
-                    f"column {name!r}"
-                ) from None
-            except ValueError:
-                raise SystemExit(
-                    f"repro: error: {path}:{line} has a non-numeric value "
-                    f"{row[name]!r} for feature {name!r}"
-                ) from None
-        matrix.append(vector)
-    return matrix
+    """Extract the named feature columns of every row as floats.
+
+    Validation lives in :func:`repro.serving.ingest.feature_matrix` — the
+    same helper ``repro serve`` uses — so both serving entry points reject
+    missing columns and unparseable numeric cells with identical one-line
+    errors (non-zero exit, no traceback).
+    """
+    from repro.serving.ingest import IngestError, feature_matrix
+
+    try:
+        return feature_matrix(rows, names, path, kind)
+    except IngestError as error:
+        raise SystemExit(f"repro: error: {error}") from None
 
 
 def _cmd_predict(args) -> int:
@@ -259,6 +254,59 @@ def _cmd_predict(args) -> int:
         writer.writerow(
             prefix + [selection.selector_choices[index], kernels[index]]
         )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Raw-matrix serving: repro serve
+# ----------------------------------------------------------------------
+def _cmd_serve(args) -> int:
+    """Ingest raw matrix files and serve kernel decisions from a model."""
+    from repro.pipeline.sources import MatrixSourceError, discover_sources
+    from repro.serving.artifacts import ModelArtifactError, load_artifact
+    from repro.serving.ingest import (
+        IngestError,
+        parse_workload_options,
+        serve_sources,
+        write_serve_artifact,
+    )
+    from repro.sparse.coo import SparseFormatError
+
+    try:
+        artifact = load_artifact(args.model)
+    except ModelArtifactError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    domain = artifact.domain_name or DEFAULT_DOMAIN
+    engine = _resolve_engine(args)
+    jobs = engine.jobs if engine is not None else 1
+    cache_dir = engine.cache_dir if engine is not None else None
+    try:
+        options = parse_workload_options(args.workload_option)
+        sources = discover_sources(args.corpus)
+        result = serve_sources(
+            sources,
+            artifact.models,
+            domain=domain,
+            iterations=args.iterations,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            options=options,
+        )
+    except (IngestError, MatrixSourceError, SparseFormatError, ValueError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    print(result.render())
+    model_info = {
+        "domain": artifact.domain_name,
+        "kernels": list(artifact.models.kernel_names),
+        "training_size": int(artifact.models.training_size),
+    }
+    paths = write_serve_artifact(result, args.out_dir, model_info=model_info)
+    stats = result.stats
+    print(
+        f"ingest: parsed={stats.matrices_ingested} "
+        f"cache-hits={stats.ingest_cache_hits} jobs={jobs}"
+    )
+    print(f"wrote {paths['data']} and {paths['manifest']}")
     return 0
 
 
@@ -382,6 +430,36 @@ def build_parser() -> argparse.ArgumentParser:
         "columns optional); predictions are written to stdout",
     )
     predict.set_defaults(func=_cmd_predict)
+
+    serve = sub.add_parser(
+        "serve",
+        help="ingest raw matrix files (.mtx/.mtx.gz/.npz/recipe:) and serve "
+        "kernel decisions from a registered model",
+    )
+    serve.add_argument(
+        "corpus", metavar="PATH",
+        help="matrix directory, manifest file, single matrix file or a "
+        "recipe:<builder>?key=value spec",
+    )
+    serve.add_argument(
+        "--model", required=True, metavar="PATH",
+        help="path to a model.json (or the directory containing it)",
+    )
+    serve.add_argument(
+        "--iterations", type=int, default=1, metavar="N",
+        help="iteration count the decisions assume (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for decisions.csv + manifest.json (default: cwd)",
+    )
+    serve.add_argument(
+        "--workload-option", action="append", default=[], metavar="KEY=VALUE",
+        help="domain-specific workload parameter (e.g. num_vectors=8 for "
+        "spmm); may be repeated",
+    )
+    _add_engine_options(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     experiments = sub.add_parser(
         "experiments", help="list or run the registered experiment suite"

@@ -192,9 +192,28 @@ class BenchmarkSuite:
         )
 
 
-def measure_matrix(name, workload, kernels, collector, domain=None) -> MatrixMeasurement:
-    """Benchmark one workload on every kernel and collect its features."""
+def _as_pipeline(features, domain):
+    """Coerce a pipeline-or-collector argument to a FeaturePipeline.
+
+    ``measure_matrix`` historically took a bare collector; both are still
+    accepted so older call sites keep working, but either way extraction
+    runs through the one shared :class:`~repro.pipeline.FeaturePipeline`.
+    """
+    from repro.pipeline import FeaturePipeline
+
+    if isinstance(features, FeaturePipeline):
+        return features
+    return FeaturePipeline(domain=domain, collector=features)
+
+
+def measure_matrix(name, workload, kernels, pipeline, domain=None) -> MatrixMeasurement:
+    """Benchmark one workload on every kernel and collect its features.
+
+    ``pipeline`` is the domain's :class:`~repro.pipeline.FeaturePipeline`
+    (a bare feature collector is also accepted for backward compatibility).
+    """
     domain = get_domain(domain)
+    pipeline = _as_pipeline(pipeline, domain)
     runtime = {}
     preprocessing = {}
     for kernel in kernels:
@@ -206,11 +225,11 @@ def measure_matrix(name, workload, kernels, collector, domain=None) -> MatrixMea
             continue
         runtime[kernel.name] = timing.iteration_ms
         preprocessing[kernel.name] = timing.preprocessing_ms
-    collection = collector.collect(workload)
+    bundle = pipeline.extract(workload)
     return MatrixMeasurement(
         name=name,
-        known=domain.known_features(workload),
-        gathered=collection.features,
+        known=bundle.known,
+        gathered=bundle.gathered,
         kernel_runtime_ms=runtime,
         kernel_preprocessing_ms=preprocessing,
     )
@@ -242,9 +261,9 @@ def run_benchmark_suite(records, kernels=None, device=MI100, domain=None) -> Ben
     domain = get_domain(domain)
     if kernels is None:
         kernels = domain.default_kernels(device)
-    collector = domain.make_collector(device)
+    pipeline = domain.make_pipeline(device)
     measurements = [
-        measure_matrix(record.name, record.matrix, kernels, collector, domain=domain)
+        measure_matrix(record.name, record.matrix, kernels, pipeline, domain=domain)
         for record in records
     ]
     return BenchmarkSuite(

@@ -65,9 +65,12 @@ class ExecutionResult:
 class SeerPredictor:
     """Deployable runtime predictor built from the trained models.
 
-    The predictor is bound to the problem domain it was trained on: the
-    domain supplies the known-feature extraction, the feature collector and
-    the kernel instantiation at execution time.
+    The predictor is bound to the problem domain it was trained on.  All
+    featurization — known-feature extraction and paid feature collection —
+    runs through the domain's :class:`~repro.pipeline.FeaturePipeline`, the
+    same code path the benchmark sweep used to produce the training data, so
+    a deployed predictor can never see differently-computed features than
+    the trees were trained on.
     """
 
     def __init__(
@@ -76,11 +79,19 @@ class SeerPredictor:
         device: DeviceSpec = MI100,
         collector=None,
         domain=None,
+        pipeline=None,
     ):
         self.models = models
         self.device = device
         self.domain = get_domain(domain)
-        self.collector = collector or self.domain.make_collector(device)
+        if pipeline is None:
+            pipeline = self.domain.make_pipeline(device, collector=collector)
+        self.pipeline = pipeline
+
+    @property
+    def collector(self):
+        """The pipeline's feature collector (built lazily)."""
+        return self.pipeline.collector
 
     # ------------------------------------------------------------------
     # Prediction
@@ -91,8 +102,8 @@ class SeerPredictor:
         """Select a kernel for ``workload`` following the Fig. 3 flow."""
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
-        known = self.domain.known_features(workload, iterations)
-        return self._decide(known, name, lambda: self.collector.collect(workload))
+        known = self.pipeline.known_features(workload, iterations)
+        return self._decide(known, name, lambda: self.pipeline.gather(workload))
 
     def predict_from_features(
         self,
@@ -107,15 +118,9 @@ class SeerPredictor:
         sweep already measured the gathered features and their collection
         cost, so re-simulating collection here would double-count it.
         """
-
-        class _PrecomputedCollection:
-            features = gathered.with_collection_time(collection_time_ms)
-            collection_time_ms_ = collection_time_ms
-
-        def _collect():
-            return _PrecomputedCollection()
-
-        return self._decide(known, name, _collect)
+        return self._decide(
+            known, name, lambda: gathered.with_collection_time(collection_time_ms)
+        )
 
     def predict_batch_from_features(
         self, known_rows, gathered_rows, names=None
@@ -175,13 +180,13 @@ class SeerPredictor:
             )
         return decisions
 
-    def _decide(self, known, name: str, collect) -> SelectionDecision:
+    def _decide(self, known, name: str, gather) -> SelectionDecision:
+        """The Fig. 3 decision flow; ``gather`` yields the paid feature row."""
         known_vector = known.as_vector()
         selector_choice = self.models.predict_selector(known_vector)
         inference_ms = TREE_EVALUATION_MS  # the selector evaluation
         if selector_choice == USE_GATHERED:
-            collection = collect()
-            gathered = collection.features
+            gathered = gather()
             collection_ms = gathered.collection_time_ms
             kernel_name = self.models.predict_gathered(
                 known_vector, gathered.as_vector()

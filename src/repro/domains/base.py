@@ -427,6 +427,57 @@ class ProblemDomain:
         """Build the feature collector running the gathered-feature kernels."""
         raise NotImplementedError
 
+    def make_pipeline(self, device: DeviceSpec = MI100, collector=None):
+        """Build the domain's :class:`~repro.pipeline.FeaturePipeline`.
+
+        This is the one featurization path of the reproduction: the
+        benchmark sweep, the runtime predictor and the raw-matrix serving
+        layer all extract features through the pipeline this factory
+        returns, so sweep-time and serve-time feature values can never
+        diverge.  The collector is built lazily unless one is supplied.
+        """
+        from repro.pipeline import FeaturePipeline
+
+        return FeaturePipeline(domain=self, device=device, collector=collector)
+
+    #: Workload-option names :meth:`serving_workload` understands; anything
+    #: else passed through ``--workload-option`` is rejected loudly.
+    serving_option_names: tuple = ()
+
+    def validate_serving_options(self, options: Optional[dict]) -> dict:
+        """Check serving options against :attr:`serving_option_names`.
+
+        A misspelled option silently falling back to a default would serve
+        a whole corpus with the wrong workload parameters, so unknown keys
+        raise :class:`ValueError` with close-match suggestions instead.
+        """
+        options = dict(options or {})
+        for key in options:
+            if key not in self.serving_option_names:
+                expected = (
+                    f"expected one of {sorted(self.serving_option_names)}"
+                    if self.serving_option_names
+                    else "it accepts none"
+                )
+                raise ValueError(
+                    f"domain {self.name!r} does not understand workload "
+                    f"option {key!r}; {expected}"
+                    + suggest_names(key, self.serving_option_names)
+                )
+        return options
+
+    def serving_workload(self, matrix, options: Optional[dict] = None):
+        """Wrap a raw CSR matrix into this domain's workload type.
+
+        Used by the ingestion path (``repro serve``), where only a matrix
+        file exists: domains whose workloads carry extra parameters (e.g.
+        SpMM's ``num_vectors``) read them from ``options`` and declare them
+        in :attr:`serving_option_names`.  The default — the matrix *is* the
+        workload — fits matrix-only domains like SpMV.
+        """
+        self.validate_serving_options(options)
+        return matrix
+
     # ------------------------------------------------------------------
     # Workloads
     # ------------------------------------------------------------------

@@ -561,6 +561,24 @@ class SpmmDomain(ProblemDomain):
     def workload_from_matrix(self, spec, matrix) -> SpmmWorkload:
         return SpmmWorkload(matrix=matrix, num_vectors=spec.num_vectors)
 
+    serving_option_names = ("num_vectors",)
+
+    def serving_workload(self, matrix, options=None) -> SpmmWorkload:
+        """An ingested matrix serves with ``options["num_vectors"]`` B columns.
+
+        Raw matrix files carry no dense-block width, so the serve layer
+        supplies it (``repro serve --workload-option num_vectors=8``); the
+        scaling default keeps matrix-only corpora servable out of the box.
+        """
+        options = self.validate_serving_options(options)
+        raw = options.get("num_vectors", self.scaling_num_vectors)
+        num_vectors = int(raw)
+        if num_vectors != raw:
+            raise ValueError(
+                f"workload option num_vectors must be a whole number, got {raw!r}"
+            )
+        return SpmmWorkload(matrix=matrix, num_vectors=num_vectors)
+
     def scaling_workload(self, num_rows: int, seed: int = 0) -> SpmmWorkload:
         from repro.domains.base import SCALING_AVG_ROW_LENGTH, SCALING_EXPONENT
         from repro.sparse.generators import power_law_matrix

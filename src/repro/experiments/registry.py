@@ -210,6 +210,7 @@ class ExperimentContext:
         engine=None,
         device: DeviceSpec = MI100,
         model_registry=None,
+        corpus=None,
     ):
         self.domain = get_domain(domain)
         self.profile = profile
@@ -221,8 +222,10 @@ class ExperimentContext:
             if not isinstance(model_registry, ModelRegistry):
                 model_registry = ModelRegistry(model_registry)
         self.model_registry = model_registry
+        self.corpus = corpus
         self._sweep = None
         self._models = None
+        self._corpus_records = {}
 
     def __repr__(self) -> str:
         return (
@@ -273,6 +276,56 @@ class ExperimentContext:
                 return self._models
         self._models = self.sweep().models
         return self._models
+
+    # ------------------------------------------------------------------
+    # Ingested corpora
+    # ------------------------------------------------------------------
+    def corpus_records(self, options=None) -> list:
+        """Workload records ingested from the context's raw-matrix corpus.
+
+        ``corpus`` (constructor argument) is anything
+        :func:`repro.pipeline.sources.discover_sources` understands — a
+        directory of ``.mtx``/``.mtx.gz``/``.npz`` files, a manifest, a
+        single file or a ``recipe:`` spec.  Parsed matrices are served from
+        the engine's content-addressed ingest cache tier when the context
+        has a caching engine.  Records are memoized per option set, so one
+        suite run ingests the corpus once however many experiments ask.
+        """
+        if self.corpus is None:
+            raise ValueError(
+                "this ExperimentContext has no corpus; pass "
+                "ExperimentContext(corpus=<dir-or-manifest>)"
+            )
+        memo_key = tuple(sorted((options or {}).items()))
+        if memo_key not in self._corpus_records:
+            from repro.serving.ingest import ingest_records
+
+            cache_dir = self.engine.cache_dir if self.engine is not None else None
+            self._corpus_records[memo_key] = ingest_records(
+                self.corpus,
+                domain=self.domain,
+                cache_dir=cache_dir,
+                options=options,
+            )
+        return self._corpus_records[memo_key]
+
+    def corpus_suite(self, options=None):
+        """Benchmark + featurize the ingested corpus with the suite machinery.
+
+        This is how experiments consume ingested corpora: the returned
+        :class:`~repro.core.benchmarking.BenchmarkSuite` has exactly the
+        shape the sweep produces for synthetic profiles, with every feature
+        extracted through the shared :class:`~repro.pipeline.FeaturePipeline`.
+        ``options`` are domain-specific workload parameters forwarded to
+        :meth:`corpus_records` (e.g. SpMM's ``num_vectors``).
+        """
+        from repro.core.benchmarking import run_benchmark_suite
+
+        return run_benchmark_suite(
+            self.corpus_records(options=options),
+            device=self.device,
+            domain=self.domain,
+        )
 
 
 def run_experiment(experiment, context: ExperimentContext):

@@ -12,7 +12,10 @@ trees, select kernels at runtime for pennies):
   with eager validation on load;
 * :mod:`repro.serving.registry` — a versioned on-disk registry keyed by the
   same config-plus-source-digest hashes the sweep engine uses, populated by
-  ``repro train --save`` and served by ``repro predict``.
+  ``repro train --save`` and served by ``repro predict``;
+* :mod:`repro.serving.ingest` — raw-matrix ingestion (``.mtx``/``.mtx.gz``/
+  ``.npz``/``recipe:`` corpora through a content-addressed cache tier) and
+  the parallel batch-serving loop behind ``repro serve``.
 """
 
 from repro.serving.artifacts import (
@@ -30,9 +33,27 @@ from repro.serving.artifacts import (
     tree_to_payload,
 )
 from repro.serving.compiled import CompiledTree, compile_tree
+from repro.serving.ingest import (
+    DECISIONS_FILE_NAME,
+    IngestCache,
+    IngestError,
+    ServeDecision,
+    ServeResult,
+    ingest_records,
+    serve_sources,
+    write_serve_artifact,
+)
 from repro.serving.registry import MANIFEST_FILE_NAME, ModelRegistry
 
 __all__ = [
+    "DECISIONS_FILE_NAME",
+    "IngestCache",
+    "IngestError",
+    "ServeDecision",
+    "ServeResult",
+    "ingest_records",
+    "serve_sources",
+    "write_serve_artifact",
     "MODEL_FILE_NAME",
     "MODEL_FORMAT",
     "MODEL_FORMAT_VERSION",

@@ -1,0 +1,519 @@
+"""Raw-matrix ingestion and batch serving: the back end of ``repro serve``.
+
+This closes the loop of the paper's Fig. 3 at production scale: starting
+from a *directory of matrix files* (not pre-extracted feature CSVs), every
+matrix is parsed, featurized through the shared
+:class:`~repro.pipeline.FeaturePipeline`, routed through the trained
+selector (paying for feature collection only when the model asks for it),
+and the chosen kernel is executed — producing one deterministic
+``decisions.csv`` + ``manifest.json`` pair in the experiment-artifact
+format.
+
+Scaling machinery is reused from the sweep engine:
+
+* **process fan-out** — sources are chunked over worker processes with
+  :func:`repro.bench.engine.run_chunked`, and results reassemble in source
+  order, so ``--jobs N`` output is bit-identical to the serial run;
+* **content-addressed ingest cache** — parsed matrices persist as ``.npz``
+  artifacts under ``<cache_dir>/ingest/``, keyed by
+  :func:`repro.bench.engine.stable_hash` over the source's *content digest*
+  (file bytes or canonical recipe) plus the ``repro.sparse`` source digest,
+  so re-serving a corpus skips Matrix-Market parsing entirely while any
+  file edit or parser change retires stale entries.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.engine import (
+    atomic_write_bytes,
+    generator_code_version,
+    run_chunked,
+    stable_hash,
+)
+from repro.core.inference import SeerPredictor
+from repro.domains import get_domain
+from repro.domains.base import jsonable
+from repro.experiments.registry import (
+    ARTIFACT_FORMAT_VERSION,
+    ExperimentArtifact,
+)
+from repro.gpu.device import MI100, DeviceSpec
+from repro.kernels.base import UnsupportedKernelError
+from repro.pipeline.sources import (
+    discover_sources,
+    ensure_unique_names,
+    load_source,
+    resolve_source,
+    source_digest,
+)
+from repro.sparse import io as sparse_io
+from repro.sparse.coo import SparseFormatError
+from repro.sparse.csr import CSRMatrix
+
+#: Bumped whenever the ingest-cache artifact layout changes.
+INGEST_FORMAT_VERSION = 1
+
+#: File names of one serve run's artifact pair.
+DECISIONS_FILE_NAME = "decisions.csv"
+SERVE_MANIFEST_FILE_NAME = "manifest.json"
+
+
+class IngestError(RuntimeError):
+    """A serving input (CSV cell, workload option, source) is invalid."""
+
+
+# ----------------------------------------------------------------------
+# Column validation — shared by ``repro predict --batch`` and ``repro serve``
+# ----------------------------------------------------------------------
+def parse_numeric_cell(value, column: str, origin, line: int) -> float:
+    """One CSV/option cell as a float, or a one-line :class:`IngestError`.
+
+    ``origin``/``line`` name the offending location (`file:line`), so CLI
+    callers can surface the message verbatim without a traceback.
+    """
+    try:
+        return float(value)
+    except TypeError:
+        raise IngestError(
+            f"{origin}:{line} is missing a value for column {column!r}"
+        ) from None
+    except ValueError:
+        raise IngestError(
+            f"{origin}:{line} has a non-numeric value {value!r} for "
+            f"column {column!r}"
+        ) from None
+
+
+def feature_matrix(rows, names, origin, kind: str) -> list:
+    """Extract the named feature columns of every row as floats.
+
+    The column-validation helper behind both serving entry points: missing
+    columns and unparseable numeric cells raise :class:`IngestError` with a
+    one-line message naming the file, line and column.
+    """
+    matrix = []
+    for line, row in enumerate(rows, start=2):
+        vector = []
+        for name in names:
+            if name not in row or row[name] is None:
+                raise IngestError(
+                    f"{origin}:{line} is missing {kind} feature column {name!r}"
+                )
+            try:
+                vector.append(float(row[name]))
+            except ValueError:
+                raise IngestError(
+                    f"{origin}:{line} has a non-numeric value {row[name]!r} "
+                    f"for feature {name!r}"
+                ) from None
+        matrix.append(vector)
+    return matrix
+
+
+def parse_workload_options(pairs) -> dict:
+    """``KEY=VALUE`` workload options as a dict of ints/floats."""
+    options = {}
+    for index, pair in enumerate(pairs or (), start=1):
+        key, eq, text = str(pair).partition("=")
+        if not eq or not key:
+            raise IngestError(
+                f"workload option {pair!r} is malformed (want KEY=VALUE)"
+            )
+        value = parse_numeric_cell(text, key, "--workload-option", index)
+        options[key] = int(value) if float(value).is_integer() else value
+    return options
+
+
+# ----------------------------------------------------------------------
+# The ingest cache tier
+# ----------------------------------------------------------------------
+class IngestCache:
+    """Content-addressed store of parsed matrices under ``<root>/ingest/``.
+
+    Keys embed the source's content digest and the ``repro.sparse`` source
+    digest (the parser and the ``.npz`` layout live there), mirroring how
+    the engine's generated-matrix tier is keyed by recipe + generator code.
+    """
+
+    def __init__(self, root):
+        # expanduser so the Python API accepts "~/.cache/seer" exactly as
+        # the shell-expanded CLI examples do.
+        self.root = Path(root).expanduser()
+
+    def key(self, source) -> str:
+        return stable_hash(
+            {
+                "format": INGEST_FORMAT_VERSION,
+                "sparse": generator_code_version(),
+                "kind": source.kind,
+                "content": source_digest(source),
+            }
+        )
+
+    def path(self, source) -> Path:
+        return self.root / "ingest" / f"{self.key(source)}.npz"
+
+    def load(self, source):
+        """The cached parse of ``source``, or ``None`` on miss/corruption."""
+        return _load_cached_matrix(self.path(source))
+
+    def store(self, source, matrix: CSRMatrix) -> None:
+        _store_cached_matrix(self.path(source), matrix)
+
+
+def _load_cached_matrix(path: Path):
+    try:
+        return sparse_io.load_npz(path)
+    except (SparseFormatError, OSError):
+        return None
+
+
+def _store_cached_matrix(path: Path, matrix: CSRMatrix) -> None:
+    atomic_write_bytes(path, sparse_io.csr_to_npz_bytes(matrix))
+
+
+def ingest_matrix(source, cache=None) -> tuple:
+    """Resolve one source to a CSR matrix; returns ``(matrix, cache_hit)``.
+
+    The cache key — which reads and digests the source's content — is
+    computed once per call, not once per load/store, so a cache miss on a
+    huge Matrix-Market file hashes its bytes a single time.
+    """
+    if cache is None:
+        return load_source(source), False
+    artifact_path = cache.path(source)
+    cached = _load_cached_matrix(artifact_path)
+    if cached is not None:
+        return cached, True
+    matrix = load_source(source)
+    _store_cached_matrix(artifact_path, matrix)
+    return matrix, False
+
+
+def _resolve_target(target) -> list:
+    """A corpus target as a source list.
+
+    Directories/manifests/single specs go through discovery; an explicit
+    list may mix :class:`~repro.pipeline.sources.MatrixSource` objects with
+    path strings and ``recipe:`` specs, each resolved individually.
+    """
+    if isinstance(target, (list, tuple)):
+        return ensure_unique_names([resolve_source(item) for item in target])
+    return discover_sources(target)
+
+
+def ingest_records(target, domain=None, cache_dir=None, options=None) -> list:
+    """Ingest a corpus into named workload records a benchmark suite accepts.
+
+    ``target`` is anything :func:`~repro.pipeline.sources.discover_sources`
+    understands (directory, manifest, single file, recipe spec) or an
+    already-discovered source list.  This is how experiment suites consume
+    ingested corpora: the records feed straight into
+    :func:`repro.core.benchmarking.run_benchmark_suite` or
+    ``run_sweep(collection=...)``.
+    """
+    from repro.sparse.collection import MatrixRecord
+
+    domain = get_domain(domain)
+    options = domain.validate_serving_options(options)
+    sources = _resolve_target(target)
+    cache = IngestCache(cache_dir) if cache_dir is not None else None
+    records = []
+    for source in sources:
+        matrix, _ = ingest_matrix(source, cache)
+        records.append(
+            MatrixRecord(
+                name=source.name,
+                family=source.kind,
+                matrix=domain.serving_workload(matrix, options),
+            )
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Serving
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServeDecision:
+    """One served workload: its features, routing and executed kernel."""
+
+    name: str
+    source: str
+    kind: str
+    known: object
+    gathered: object
+    selector_choice: str
+    kernel: str
+    supported: bool
+    collection_time_ms: float
+    inference_time_ms: float
+    preprocessing_ms: float
+    runtime_ms: float
+
+    @property
+    def kernel_total_ms(self) -> float:
+        """Preprocessing plus all iterations of the selected kernel."""
+        iterations = int(getattr(self.known, "iterations", 1))
+        return self.preprocessing_ms + iterations * self.runtime_ms
+
+    @property
+    def total_ms(self) -> float:
+        """Selection overhead plus kernel execution, end to end."""
+        return (
+            self.collection_time_ms + self.inference_time_ms + self.kernel_total_ms
+        )
+
+
+@dataclass
+class ServeStats:
+    """Counters describing what a serve run actually did."""
+
+    matrices_ingested: int = 0
+    ingest_cache_hits: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "matrices_ingested": self.matrices_ingested,
+            "ingest_cache_hits": self.ingest_cache_hits,
+        }
+
+
+@dataclass
+class ServeResult:
+    """All decisions of one ``repro serve`` run, in corpus order."""
+
+    domain_name: str
+    device_name: str
+    iterations: int
+    decisions: list
+    stats: ServeStats = field(default_factory=ServeStats)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def domain(self):
+        return get_domain(self.domain_name)
+
+    def summary(self) -> dict:
+        """Headline scalars of the run (manifest ``summary`` block)."""
+        gathered = sum(1 for d in self.decisions if d.selector_choice == "gathered")
+        unsupported = sum(1 for d in self.decisions if not d.supported)
+        finite = [d.total_ms for d in self.decisions if math.isfinite(d.total_ms)]
+        overhead = sum(
+            d.collection_time_ms + d.inference_time_ms for d in self.decisions
+        )
+        return {
+            "workloads": len(self.decisions),
+            "gathered_routed": gathered,
+            "known_routed": len(self.decisions) - gathered,
+            "unsupported_selections": unsupported,
+            "selection_overhead_ms": overhead,
+            "total_execution_ms": sum(finite),
+        }
+
+    def to_artifact(self) -> ExperimentArtifact:
+        """The decisions as one flat experiment-format table."""
+        domain = self.domain
+        columns = (
+            ("name", "source", "kind")
+            + tuple(domain.known_feature_names)
+            + tuple(domain.gathered_feature_names)
+            + (
+                "selector_choice",
+                "kernel",
+                "supported",
+                "collection_time_ms",
+                "inference_time_ms",
+                "preprocessing_ms",
+                "runtime_ms",
+                "kernel_total_ms",
+                "total_ms",
+            )
+        )
+        rows = []
+        for decision in self.decisions:
+            known = decision.known.as_dict()
+            gathered = decision.gathered.as_dict()
+            rows.append(
+                (decision.name, decision.source, decision.kind)
+                + tuple(known[name] for name in domain.known_feature_names)
+                + tuple(gathered[name] for name in domain.gathered_feature_names)
+                + (
+                    decision.selector_choice,
+                    decision.kernel,
+                    decision.supported,
+                    decision.collection_time_ms,
+                    decision.inference_time_ms,
+                    decision.preprocessing_ms,
+                    decision.runtime_ms,
+                    decision.kernel_total_ms,
+                    decision.total_ms,
+                )
+            )
+        return ExperimentArtifact(columns=columns, rows=rows, summary=self.summary())
+
+    def render(self) -> str:
+        """Human-readable per-decision table for the console."""
+        lines = [
+            f"served {len(self.decisions)} workloads "
+            f"(domain {self.domain_name}, {self.iterations} iteration(s))"
+        ]
+        for decision in self.decisions:
+            lines.append(
+                f"  {decision.name:<28} {decision.selector_choice:<8} "
+                f"-> {decision.kernel:<8} total {decision.total_ms:.4f} ms"
+            )
+        return "\n".join(lines)
+
+
+def _serve_chunk(
+    sources,
+    models,
+    domain,
+    device: DeviceSpec,
+    iterations: int,
+    options,
+    cache_dir,
+) -> tuple:
+    """Worker entry point: ingest and serve a chunk of sources.
+
+    Runs in a worker process (module-level, picklable).  The models cross
+    the boundary as plain dataclasses; the domain crosses as an object —
+    registered domains pickle by name and resolve to the worker's singleton,
+    exactly as the engine's benchmark workers handle it.  The predictor and
+    its pipeline are rebuilt per chunk, which changes nothing — featurization
+    and the simulated timings are deterministic.  Returns
+    ``(decisions, ingested, cache_hits)``.
+    """
+    domain = get_domain(domain)
+    cache = IngestCache(cache_dir) if cache_dir is not None else None
+    predictor = SeerPredictor(models, device=device, domain=domain)
+    decisions = []
+    ingested = 0
+    hits = 0
+    for source in sources:
+        matrix, hit = ingest_matrix(source, cache)
+        if hit:
+            hits += 1
+        else:
+            ingested += 1
+        workload = domain.serving_workload(matrix, options or {})
+        decision = predictor.predict(workload, iterations=iterations, name=source.name)
+        kernel = domain.make_kernel(decision.kernel_name, device)
+        try:
+            timing = kernel.timing(workload)
+            preprocessing_ms, runtime_ms = timing.preprocessing_ms, timing.iteration_ms
+            supported = True
+        except UnsupportedKernelError:
+            preprocessing_ms, runtime_ms = 0.0, math.inf
+            supported = False
+        decisions.append(
+            ServeDecision(
+                name=source.name,
+                source=source.location,
+                kind=source.kind,
+                known=decision.known,
+                gathered=decision.gathered,
+                selector_choice=decision.selector_choice,
+                kernel=decision.kernel_name,
+                supported=supported,
+                collection_time_ms=decision.collection_time_ms,
+                inference_time_ms=decision.inference_time_ms,
+                preprocessing_ms=preprocessing_ms,
+                runtime_ms=runtime_ms,
+            )
+        )
+    return decisions, ingested, hits
+
+
+def serve_sources(
+    target,
+    models,
+    domain=None,
+    device: DeviceSpec = MI100,
+    iterations: int = 1,
+    jobs: int = 1,
+    cache_dir=None,
+    options=None,
+    chunks_per_job: int = 4,
+) -> ServeResult:
+    """Ingest a corpus and serve kernel decisions for every matrix in it.
+
+    ``target`` is a directory/manifest/file/recipe (or a pre-discovered
+    source list); ``models`` a trained :class:`~repro.core.training.SeerModels`.
+    With ``jobs > 1`` the corpus fans out over worker processes through the
+    engine's chunking machinery, and the decisions reassemble in corpus
+    order — bit-identical to the serial run.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    domain = get_domain(domain)
+    # Fail fast on unknown workload options, before any worker fan-out.
+    options = domain.validate_serving_options(options)
+    sources = _resolve_target(target)
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    chunk_results = run_chunked(
+        _serve_chunk,
+        sources,
+        jobs=jobs,
+        chunks_per_job=chunks_per_job,
+        args=(models, domain, device, iterations, options, cache_dir),
+    )
+    result = ServeResult(
+        domain_name=domain.name,
+        device_name=device.name,
+        iterations=iterations,
+        decisions=[],
+    )
+    for decisions, ingested, hits in chunk_results:
+        result.decisions.extend(decisions)
+        result.stats.matrices_ingested += ingested
+        result.stats.ingest_cache_hits += hits
+    return result
+
+
+def write_serve_artifact(result: ServeResult, out_dir, model_info=None) -> dict:
+    """Persist a serve run as ``decisions.csv`` + ``manifest.json``.
+
+    The pair follows the experiment-artifact contract: repr-precision cells,
+    sorted-key manifest, no timestamps or machine state — and the ingest
+    stats are deliberately excluded, so a warm-cache re-serve (or a
+    ``--jobs N`` run) writes byte-identical files.
+    """
+    artifact = result.to_artifact()
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    data_path = directory / DECISIONS_FILE_NAME
+    data_path.write_text(artifact.to_csv(), encoding="utf-8")
+    kinds = {}
+    for decision in result.decisions:
+        kinds[decision.kind] = kinds.get(decision.kind, 0) + 1
+    manifest = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "experiment": "serve",
+        "title": "Raw-matrix serving decisions",
+        "description": (
+            "Kernel selections over an ingested corpus of raw matrix files, "
+            "featurized through the shared FeaturePipeline"
+        ),
+        "domain": result.domain.describe(),
+        "device": result.device_name,
+        "iterations": result.iterations,
+        "columns": list(artifact.columns),
+        "row_count": len(artifact.rows),
+        "sources": {"count": len(result.decisions), "kinds": kinds},
+        "summary": jsonable(artifact.summary),
+        "model": jsonable(model_info) if model_info else None,
+    }
+    manifest_path = directory / SERVE_MANIFEST_FILE_NAME
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return {"dir": directory, "data": data_path, "manifest": manifest_path}

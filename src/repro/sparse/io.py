@@ -1,17 +1,30 @@
-"""Matrix-Market I/O.
+"""Sparse-matrix file I/O: Matrix Market and ``.npz`` CSR archives.
 
-SuiteSparse matrices are distributed as Matrix-Market ``.mtx`` files.  The
-reproduction generates its matrices synthetically, but the reader/writer here
-lets users point the Seer pipeline at real ``.mtx`` files when they have
-them, exactly as the paper's tooling does.
+SuiteSparse matrices are distributed as Matrix-Market ``.mtx`` files
+(often gzip-compressed as ``.mtx.gz``).  The reproduction generates its
+matrices synthetically, but the readers/writers here let users point the
+Seer pipeline at real matrix files when they have them, exactly as the
+paper's tooling does — ``repro serve`` ingests whole directories of them.
 
 Only the ``matrix coordinate`` container is supported (real / integer /
 pattern fields, general / symmetric / skew-symmetric symmetry), which covers
-the SuiteSparse collection.
+the SuiteSparse collection.  Malformed files — bad headers, truncated entry
+lists, out-of-range 1-based coordinates, duplicate entries — all raise
+:class:`MatrixMarketError` with a message naming the offending file, never
+a bare NumPy error.
+
+The ``.npz`` helpers (:func:`save_npz` / :func:`load_npz`) round-trip a
+:class:`~repro.sparse.csr.CSRMatrix` through one compressed NumPy archive;
+the sweep engine's generated-matrix tier and the serving layer's ingest
+cache both store this layout.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -41,57 +54,121 @@ def _parse_header(line: str) -> tuple:
     return field, symmetry
 
 
+def _open_text(path: Path):
+    """Open a ``.mtx`` file for reading, decompressing ``.mtx.gz`` transparently."""
+    if path.name.lower().endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+def _check_coordinates(
+    values: np.ndarray, upper: int, what: str, path: Path
+) -> None:
+    """Validate parsed 0-based coordinates against ``[0, upper)``."""
+    if values.shape[0] == 0:
+        return
+    smallest, largest = int(values.min()), int(values.max())
+    if smallest < 0 or largest >= upper:
+        offender = smallest + 1 if smallest < 0 else largest + 1
+        raise MatrixMarketError(
+            f"{path.name}: {what} index {offender} out of range 1..{upper}"
+        )
+
+
+def _check_duplicates(
+    rows: np.ndarray, cols: np.ndarray, path: Path, hint: str = ""
+) -> None:
+    """Reject repeated ``(row, col)`` coordinates with a clear message."""
+    if rows.shape[0] < 2:
+        return
+    order = np.lexsort((cols, rows))
+    sorted_rows, sorted_cols = rows[order], cols[order]
+    repeated = (sorted_rows[1:] == sorted_rows[:-1]) & (
+        sorted_cols[1:] == sorted_cols[:-1]
+    )
+    if repeated.any():
+        first = int(np.argmax(repeated))
+        raise MatrixMarketError(
+            f"{path.name}: duplicate entry for coordinate "
+            f"({int(sorted_rows[first]) + 1}, {int(sorted_cols[first]) + 1})"
+            + hint
+        )
+
+
 def read_matrix_market(path, as_csr: bool = True):
-    """Read a Matrix-Market coordinate file.
+    """Read a Matrix-Market coordinate file (``.mtx`` or ``.mtx.gz``).
 
     Parameters
     ----------
     path:
-        File to read.
+        File to read; a ``.gz`` suffix is decompressed transparently.
     as_csr:
         Return a :class:`CSRMatrix` when true (the default), otherwise the
         raw :class:`COOMatrix`.
     """
     path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        header = handle.readline()
-        field, symmetry = _parse_header(header)
-        size_line = None
-        for line in handle:
-            stripped = line.strip()
-            if not stripped or stripped.startswith("%"):
-                continue
-            size_line = stripped
-            break
-        if size_line is None:
-            raise MatrixMarketError("missing size line")
-        try:
-            num_rows, num_cols, nnz = (int(tok) for tok in size_line.split())
-        except ValueError as exc:
-            raise MatrixMarketError(f"bad size line: {size_line!r}") from exc
+    try:
+        with _open_text(path) as handle:
+            header = handle.readline()
+            field, symmetry = _parse_header(header)
+            size_line = None
+            for line in handle:
+                stripped = line.strip()
+                if not stripped or stripped.startswith("%"):
+                    continue
+                size_line = stripped
+                break
+            if size_line is None:
+                raise MatrixMarketError(f"{path.name}: missing size line")
+            try:
+                num_rows, num_cols, nnz = (int(tok) for tok in size_line.split())
+            except ValueError as exc:
+                raise MatrixMarketError(
+                    f"{path.name}: bad size line: {size_line!r}"
+                ) from exc
+            if num_rows < 0 or num_cols < 0 or nnz < 0:
+                raise MatrixMarketError(
+                    f"{path.name}: negative dimension in size line {size_line!r}"
+                )
 
-        rows = np.empty(nnz, dtype=np.int64)
-        cols = np.empty(nnz, dtype=np.int64)
-        values = np.empty(nnz, dtype=np.float64)
-        count = 0
-        for line in handle:
-            stripped = line.strip()
-            if not stripped or stripped.startswith("%"):
-                continue
-            tokens = stripped.split()
-            if count >= nnz:
-                raise MatrixMarketError("more entries than declared in size line")
-            rows[count] = int(tokens[0]) - 1
-            cols[count] = int(tokens[1]) - 1
-            if field == "pattern":
-                values[count] = 1.0
-            else:
-                values[count] = float(tokens[2])
-            count += 1
-        if count != nnz:
-            raise MatrixMarketError(
-                f"expected {nnz} entries, found {count} in {path.name}"
-            )
+            rows = np.empty(nnz, dtype=np.int64)
+            cols = np.empty(nnz, dtype=np.int64)
+            values = np.empty(nnz, dtype=np.float64)
+            count = 0
+            for line in handle:
+                stripped = line.strip()
+                if not stripped or stripped.startswith("%"):
+                    continue
+                tokens = stripped.split()
+                if count >= nnz:
+                    raise MatrixMarketError(
+                        f"{path.name}: more entries than declared in size line"
+                    )
+                try:
+                    rows[count] = int(tokens[0]) - 1
+                    cols[count] = int(tokens[1]) - 1
+                    if field == "pattern":
+                        values[count] = 1.0
+                    else:
+                        values[count] = float(tokens[2])
+                except (ValueError, IndexError) as exc:
+                    raise MatrixMarketError(
+                        f"{path.name}: bad entry line: {stripped!r}"
+                    ) from exc
+                count += 1
+            if count != nnz:
+                raise MatrixMarketError(
+                    f"expected {nnz} entries, found {count} in {path.name}"
+                )
+    except (OSError, UnicodeDecodeError, EOFError, zlib.error) as exc:
+        # gzip surfaces header corruption/truncation as OSError/EOFError and
+        # corrupt deflate bodies as zlib.error; binary junk in a text stream
+        # surfaces as UnicodeDecodeError.
+        raise MatrixMarketError(f"{path.name}: unreadable file ({exc})") from exc
+
+    _check_coordinates(rows, num_rows, "row", path)
+    _check_coordinates(cols, num_cols, "column", path)
+    _check_duplicates(rows, cols, path)
 
     if symmetry in ("symmetric", "skew-symmetric"):
         off_diagonal = rows != cols
@@ -100,6 +177,12 @@ def read_matrix_market(path, as_csr: bool = True):
         mirrored_cols = np.concatenate([cols, rows[off_diagonal]])
         values = np.concatenate([values, mirror_sign * values[off_diagonal]])
         rows, cols = mirrored_rows, mirrored_cols
+        # A symmetric file must store only one triangle: a file carrying
+        # both (i, j) and (j, i) passes the raw check but collides here —
+        # without this, mirroring would silently double those values.
+        _check_duplicates(
+            rows, cols, path, hint=" (both triangles of a symmetric matrix stored?)"
+        )
 
     coo = COOMatrix(
         num_rows=num_rows, num_cols=num_cols, rows=rows, cols=cols, values=values
@@ -122,3 +205,55 @@ def write_matrix_market(matrix, path) -> None:
         handle.write(f"{coo.num_rows} {coo.num_cols} {coo.nnz}\n")
         for row, col, value in zip(coo.rows, coo.cols, coo.values):
             handle.write(f"{int(row) + 1} {int(col) + 1} {value:.17g}\n")
+
+
+# ----------------------------------------------------------------------
+# CSR <-> .npz archives
+# ----------------------------------------------------------------------
+def csr_to_npz_bytes(matrix: CSRMatrix) -> bytes:
+    """Serialized ``.npz`` form of one CSR matrix."""
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        num_rows=np.int64(matrix.num_rows),
+        num_cols=np.int64(matrix.num_cols),
+        row_offsets=matrix.row_offsets,
+        col_indices=matrix.col_indices,
+        values=matrix.values,
+    )
+    return buffer.getvalue()
+
+
+def csr_from_npz_bytes(data: bytes) -> CSRMatrix:
+    """Inverse of :func:`csr_to_npz_bytes` (raises on malformed archives)."""
+    with np.load(io.BytesIO(data)) as arrays:
+        return CSRMatrix(
+            num_rows=int(arrays["num_rows"]),
+            num_cols=int(arrays["num_cols"]),
+            row_offsets=arrays["row_offsets"],
+            col_indices=arrays["col_indices"],
+            values=arrays["values"],
+        )
+
+
+def save_npz(matrix: CSRMatrix, path) -> None:
+    """Persist a CSR matrix as one ``.npz`` archive."""
+    Path(path).write_bytes(csr_to_npz_bytes(matrix))
+
+
+def load_npz(path) -> CSRMatrix:
+    """Read a CSR matrix written by :func:`save_npz`.
+
+    Raises :class:`~repro.sparse.coo.SparseFormatError` when the archive is
+    missing, truncated or does not hold a valid CSR layout, so ingest-layer
+    callers get one exception family for every unreadable matrix file.
+    """
+    path = Path(path)
+    try:
+        return csr_from_npz_bytes(path.read_bytes())
+    except SparseFormatError as exc:
+        raise SparseFormatError(f"{path.name}: {exc}") from exc
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise SparseFormatError(
+            f"{path.name}: not a readable CSR .npz archive ({exc})"
+        ) from exc

@@ -55,3 +55,9 @@ def tiny_sweep():
 def small_sweep():
     """One end-to-end pipeline run on the small profile, shared by tests."""
     return run_sweep(profile="small")
+
+
+@pytest.fixture(scope="session")
+def tiny_sweep_spmm():
+    """One end-to-end SpMM pipeline run on the tiny profile."""
+    return run_sweep(profile="tiny", domain="spmm", iteration_counts=(1, 19))

@@ -85,3 +85,168 @@ def test_truncated_file_rejected(tmp_path):
 def test_write_rejects_unknown_type(tmp_path):
     with pytest.raises(TypeError):
         write_matrix_market(np.eye(3), tmp_path / "dense.mtx")
+
+
+# ----------------------------------------------------------------------
+# Hardened error reporting
+# ----------------------------------------------------------------------
+def test_out_of_range_row_index_rejected(tmp_path):
+    path = tmp_path / "oob_row.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n4 1 1.0\n"
+    )
+    with pytest.raises(MatrixMarketError, match=r"row index 4 out of range 1\.\.3"):
+        read_matrix_market(path)
+
+
+def test_out_of_range_column_index_rejected(tmp_path):
+    path = tmp_path / "oob_col.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n2 5 2.0\n"
+    )
+    with pytest.raises(MatrixMarketError, match=r"column index 5 out of range"):
+        read_matrix_market(path)
+
+
+def test_zero_based_index_rejected(tmp_path):
+    path = tmp_path / "zero.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n0 1 1.0\n"
+    )
+    with pytest.raises(MatrixMarketError, match="out of range"):
+        read_matrix_market(path)
+
+
+def test_duplicate_coordinates_rejected(tmp_path):
+    path = tmp_path / "dup.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 3\n1 1 1.0\n2 3 2.0\n1 1 5.0\n"
+    )
+    with pytest.raises(MatrixMarketError, match=r"duplicate entry .*\(1, 1\)"):
+        read_matrix_market(path)
+
+
+def test_malformed_entry_line_rejected(tmp_path):
+    path = tmp_path / "bad_entry.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 one 1.0\n"
+    )
+    with pytest.raises(MatrixMarketError, match="bad entry line"):
+        read_matrix_market(path)
+
+
+def test_entry_line_missing_value_rejected(tmp_path):
+    path = tmp_path / "short_entry.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"
+    )
+    with pytest.raises(MatrixMarketError, match="bad entry line"):
+        read_matrix_market(path)
+
+
+def test_gzip_round_trip(tmp_path):
+    import gzip
+
+    matrix = power_law_matrix(30, 25, 3.0, rng=4)
+    plain = tmp_path / "m.mtx"
+    write_matrix_market(matrix, plain)
+    compressed = tmp_path / "m.mtx.gz"
+    compressed.write_bytes(gzip.compress(plain.read_bytes()))
+    loaded = read_matrix_market(compressed)
+    np.testing.assert_allclose(loaded.to_dense(), matrix.to_dense())
+
+
+def test_corrupt_gzip_rejected(tmp_path):
+    path = tmp_path / "junk.mtx.gz"
+    path.write_bytes(b"\x1f\x8b but definitely not gzip data")
+    with pytest.raises(MatrixMarketError, match="unreadable"):
+        read_matrix_market(path)
+
+
+def test_corrupt_deflate_body_rejected(tmp_path):
+    """Bit-flipped gzip bodies (bad downloads) always fail cleanly.
+
+    Depending on where the corruption lands, decompression raises
+    ``zlib.error`` / CRC errors, or the stream decodes into garbage text
+    that fails entry parsing — every outcome must be a ``MatrixMarketError``
+    (never a raw traceback), which is the hardening contract ``repro
+    serve`` relies on.
+    """
+    import gzip
+
+    matrix = power_law_matrix(40, 40, 4.0, rng=5)
+    plain = tmp_path / "m.mtx"
+    write_matrix_market(matrix, plain)
+    compressed = gzip.compress(plain.read_bytes())
+    for index, fraction in enumerate((0.3, 0.5, 0.7, 0.9, 0.99)):
+        data = bytearray(compressed)
+        offset = int(len(data) * fraction)
+        for position in range(offset, min(offset + 8, len(data))):
+            data[position] ^= 0xFF
+        path = tmp_path / f"flipped{index}.mtx.gz"
+        path.write_bytes(bytes(data))
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+
+def test_uppercase_gz_suffix_decompresses(tmp_path):
+    import gzip
+
+    matrix = power_law_matrix(20, 20, 3.0, rng=6)
+    plain = tmp_path / "m.mtx"
+    write_matrix_market(matrix, plain)
+    upper = tmp_path / "M.MTX.GZ"
+    upper.write_bytes(gzip.compress(plain.read_bytes()))
+    np.testing.assert_allclose(read_matrix_market(upper).to_dense(), matrix.to_dense())
+
+
+def test_symmetric_file_storing_both_triangles_rejected(tmp_path):
+    """Both triangles present would silently double off-diagonal values."""
+    path = tmp_path / "both.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 2\n2 1 5.0\n1 2 5.0\n"
+    )
+    with pytest.raises(MatrixMarketError, match="both triangles"):
+        read_matrix_market(path)
+
+
+# ----------------------------------------------------------------------
+# CSR .npz round trip (the ingest-cache layout)
+# ----------------------------------------------------------------------
+def test_save_load_npz_round_trip(tmp_path):
+    from repro.sparse.io import load_npz, save_npz
+
+    matrix = power_law_matrix(60, 45, 4.0, rng=6)
+    path = tmp_path / "m.npz"
+    save_npz(matrix, path)
+    loaded = load_npz(path)
+    np.testing.assert_array_equal(loaded.row_offsets, matrix.row_offsets)
+    np.testing.assert_array_equal(loaded.col_indices, matrix.col_indices)
+    np.testing.assert_array_equal(loaded.values, matrix.values)
+    assert loaded.shape == matrix.shape
+
+
+def test_npz_matches_engine_matrix_artifacts(tmp_path):
+    """One .npz reader serves both the engine tier and the ingest cache."""
+    from repro.bench.engine import matrix_to_bytes
+    from repro.sparse.io import load_npz
+
+    matrix = power_law_matrix(20, 20, 3.0, rng=8)
+    path = tmp_path / "artifact.npz"
+    path.write_bytes(matrix_to_bytes(matrix))
+    loaded = load_npz(path)
+    np.testing.assert_array_equal(loaded.values, matrix.values)
+
+
+def test_load_npz_clear_errors(tmp_path):
+    from repro.sparse.coo import SparseFormatError
+    from repro.sparse.io import load_npz
+
+    with pytest.raises(SparseFormatError, match="absent.npz"):
+        load_npz(tmp_path / "absent.npz")
+    corrupt = tmp_path / "corrupt.npz"
+    corrupt.write_bytes(b"not an archive")
+    with pytest.raises(SparseFormatError, match="corrupt.npz"):
+        load_npz(corrupt)

@@ -233,6 +233,107 @@ def test_cli_predict_rejects_corrupt_artifacts(tmp_path):
         main(["predict", "--model", str(bogus)])
 
 
+# ----------------------------------------------------------------------
+# Raw-matrix serving: repro serve
+# ----------------------------------------------------------------------
+def _write_corpus(tmp_path):
+    from repro.sparse.generators import banded_matrix, power_law_matrix
+    from repro.sparse.io import save_npz, write_matrix_market
+
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    write_matrix_market(power_law_matrix(180, 180, 4.0, rng=3), corpus / "pl.mtx")
+    save_npz(banded_matrix(128, 7, rng=1), corpus / "band.npz")
+    return corpus
+
+
+def test_cli_serve_writes_decisions(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    corpus = _write_corpus(tmp_path)
+    out_dir = tmp_path / "out"
+    assert main(
+        ["serve", "--model", model_path, str(corpus), "--out-dir", str(out_dir)]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "served 2 workloads" in output
+    assert "wrote" in output
+    decisions = (out_dir / "decisions.csv").read_text().splitlines()
+    assert decisions[0].startswith("name,source,kind,rows,cols,nnz,iterations")
+    assert len(decisions) == 3
+    assert decisions[1].startswith("band,")
+    assert decisions[2].startswith("pl,")
+    assert (out_dir / "manifest.json").exists()
+
+
+def test_cli_serve_parallel_output_is_bit_identical(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    corpus = _write_corpus(tmp_path)
+    serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+    cache = tmp_path / "cache"
+    base = ["serve", "--model", model_path, str(corpus), "--cache-dir", str(cache)]
+    assert main(base + ["--out-dir", str(serial_dir)]) == 0
+    assert "cache-hits=0" in capsys.readouterr().out
+    assert main(base + ["--out-dir", str(parallel_dir), "--jobs", "2"]) == 0
+    assert "cache-hits=2" in capsys.readouterr().out
+    for name in ("decisions.csv", "manifest.json"):
+        assert (serial_dir / name).read_bytes() == (parallel_dir / name).read_bytes()
+
+
+def test_cli_serve_accepts_workload_options_for_spmm(tmp_path, capsys):
+    assert main(
+        ["train", "--profile", "tiny", "--domain", "spmm",
+         "--save", str(tmp_path / "models")]
+    ) == 0
+    model_path = capsys.readouterr().out.rsplit("registered model:", 1)[1].strip()
+    corpus = _write_corpus(tmp_path)
+    out_dir = tmp_path / "out"
+    assert main(
+        ["serve", "--model", model_path, str(corpus), "--out-dir", str(out_dir),
+         "--workload-option", "num_vectors=16"]
+    ) == 0
+    header, first, *_ = (out_dir / "decisions.csv").read_text().splitlines()
+    columns = header.split(",")
+    assert "num_vectors" in columns
+    assert first.split(",")[columns.index("num_vectors")] == "16"
+
+
+def test_cli_serve_rejects_empty_corpus(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(SystemExit, match="no matrix files"):
+        main(["serve", "--model", model_path, str(empty)])
+
+
+def test_cli_serve_rejects_bad_workload_option(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    corpus = _write_corpus(tmp_path)
+    with pytest.raises(SystemExit, match="malformed"):
+        main(["serve", "--model", model_path, str(corpus),
+              "--workload-option", "oops"])
+    with pytest.raises(SystemExit, match="workload option"):
+        main(["serve", "--model", model_path, str(corpus),
+              "--workload-option", "num_vectors=8"])  # spmv accepts none
+
+
+def test_cli_serve_reports_malformed_matrix_files(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    (corpus / "broken.mtx").write_text(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1.0\n"
+    )
+    with pytest.raises(SystemExit, match="out of range"):
+        main(["serve", "--model", model_path, str(corpus)])
+
+
+def test_cli_serve_rejects_corrupt_model(tmp_path):
+    bogus = tmp_path / "model.json"
+    bogus.write_text("{ nope")
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(["serve", "--model", str(bogus), str(tmp_path)])
+
+
 def test_cli_experiments_run_accepts_model_dir(tmp_path, capsys):
     assert main(
         ["experiments", "run", "accuracy", "--profile", "tiny",
