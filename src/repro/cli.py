@@ -11,6 +11,8 @@ the pipeline stages, the model registry and the experiment suite:
    repro predict --model models/spmv/small/<hash>  # inspect the artifact
    repro predict --model ... --batch features.csv  # serve a feature batch
    repro serve --model ... matrices/ --jobs 4      # serve raw matrix files
+   repro serve --daemon --config service.toml      # persistent daemon
+   repro bench serve --model ...                   # serving load generator
    repro experiments list                          # registered experiments
    repro experiments run --all --domain spmv --profile tiny --out-dir out/
    repro experiments run fig1 table3 --domain spmm --profile tiny
@@ -179,25 +181,14 @@ def _batch_rows(path: Path) -> list:
         return list(reader)
 
 
-def _feature_matrix(rows, names, path, kind: str):
-    """Extract the named feature columns of every row as floats.
-
-    Validation lives in :func:`repro.serving.ingest.feature_matrix` — the
-    same helper ``repro serve`` uses — so both serving entry points reject
-    missing columns and unparseable numeric cells with identical one-line
-    errors (non-zero exit, no traceback).
-    """
-    from repro.serving.ingest import IngestError, feature_matrix
-
-    try:
-        return feature_matrix(rows, names, path, kind)
-    except IngestError as error:
-        raise SystemExit(f"repro: error: {error}") from None
-
-
 def _cmd_predict(args) -> int:
     """Serve (or inspect) a registered model artifact."""
     from repro.serving.artifacts import ModelArtifactError, load_artifact
+    from repro.serving.requests import (
+        IngestError,
+        evaluate_requests,
+        requests_from_rows,
+    )
 
     try:
         artifact = load_artifact(args.model)
@@ -225,41 +216,87 @@ def _cmd_predict(args) -> int:
     rows = _batch_rows(batch_path)
     if not rows:
         raise SystemExit(f"repro: error: {batch_path} has no data rows")
-    known_matrix = _feature_matrix(
-        rows, models.known_feature_names, batch_path, "known"
-    )
-    gathered_matrix = None
-    present = set(rows[0])
-    gathered_names = models.gathered_feature_names
-    if gathered_names and all(name in present for name in gathered_names):
-        gathered_matrix = _feature_matrix(
-            rows, gathered_names, batch_path, "gathered"
-        )
-    selection = models.predict_batch(known_matrix, gathered_matrix)
+    # The whole CSV becomes one admission batch of the unified serving core:
+    # validation (shared error formatter) and vectorized tree inference are
+    # exactly what the daemon and `repro serve` run.
     try:
-        kernels = selection.kernels
-    except ValueError as error:
-        hint = (
-            f" (add the {', '.join(gathered_names)} columns to {batch_path})"
-            if gathered_names
-            else ""
+        requests = requests_from_rows(rows, models, batch_path)
+        responses, _ = evaluate_requests(
+            models, requests, execute=False, strict=True
         )
-        raise SystemExit(f"repro: error: {error}{hint}") from None
+    except IngestError as error:
+        raise SystemExit(f"repro: error: {error}") from None
     writer = csv.writer(sys.stdout, lineterminator="\n")
-    has_names = "name" in present
+    has_names = "name" in set(rows[0])
     header = ["name"] if has_names else []
     writer.writerow(header + ["selector_choice", "kernel"])
-    for index, row in enumerate(rows):
+    for row, response in zip(rows, responses):
         prefix = [row["name"]] if has_names else []
-        writer.writerow(
-            prefix + [selection.selector_choices[index], kernels[index]]
-        )
+        writer.writerow(prefix + [response.selector_choice, response.kernel])
     return 0
 
 
 # ----------------------------------------------------------------------
 # Raw-matrix serving: repro serve
 # ----------------------------------------------------------------------
+def _cmd_serve_daemon(args) -> int:
+    """Run the persistent serving daemon (``repro serve --daemon``)."""
+    import json
+    import signal
+    import threading
+
+    from repro.serving.ingest import IngestError, parse_workload_options
+    from repro.serving.service import (
+        ServiceConfig,
+        ServiceConfigError,
+        ServingService,
+    )
+
+    try:
+        if args.config is not None:
+            config = ServiceConfig.from_toml(args.config)
+        else:
+            if args.model is None:
+                raise ServiceConfigError(
+                    "daemon mode needs --model PATH or --config service.toml"
+                )
+            config = ServiceConfig(model=args.model)
+        options = parse_workload_options(args.workload_option)
+        config = config.with_overrides(
+            model=args.model,
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            cache_dir=args.cache_dir,
+            iterations=args.iterations,
+            log_dir=args.log_dir,
+            options=options or None,
+        )
+        service = ServingService(config)
+    except (ServiceConfigError, IngestError, OSError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    host, port = service.address
+    print(
+        f"serving daemon listening on http://{host}:{port} "
+        f"(model {service.hub.default_key}, "
+        f"max_batch_size={config.max_batch_size}, "
+        f"max_wait_ms={config.max_wait_ms})",
+        flush=True,
+    )
+
+    def request_shutdown(signum, frame):
+        # Never call shutdown() on the thread running serve_forever — it
+        # blocks on the accept loop it would be stopping.
+        threading.Thread(target=service.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, request_shutdown)
+    signal.signal(signal.SIGINT, request_shutdown)
+    service.serve_forever()
+    print(json.dumps(service.summary(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Ingest raw matrix files and serve kernel decisions from a model."""
     from repro.pipeline.sources import MatrixSourceError, discover_sources
@@ -272,6 +309,15 @@ def _cmd_serve(args) -> int:
     )
     from repro.sparse.coo import SparseFormatError
 
+    if args.daemon:
+        return _cmd_serve_daemon(args)
+    if args.corpus is None:
+        raise SystemExit(
+            "repro: error: one-shot serve needs a corpus PATH "
+            "(or pass --daemon to run the persistent service)"
+        )
+    if args.model is None:
+        raise SystemExit("repro: error: serve needs --model PATH")
     try:
         artifact = load_artifact(args.model)
     except ModelArtifactError as error:
@@ -287,7 +333,7 @@ def _cmd_serve(args) -> int:
             sources,
             artifact.models,
             domain=domain,
-            iterations=args.iterations,
+            iterations=1 if args.iterations is None else args.iterations,
             jobs=jobs,
             cache_dir=cache_dir,
             options=options,
@@ -307,6 +353,36 @@ def _cmd_serve(args) -> int:
         f"cache-hits={stats.ingest_cache_hits} jobs={jobs}"
     )
     print(f"wrote {paths['data']} and {paths['manifest']}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Serving benchmarks: repro bench serve
+# ----------------------------------------------------------------------
+def _cmd_bench_serve(args) -> int:
+    """Closed-loop load generation against the serving daemon."""
+    import json
+
+    from repro.bench.loadgen import bench_serve, render_bench_serve
+    from repro.serving.artifacts import ModelArtifactError
+
+    try:
+        result = bench_serve(
+            args.model,
+            requests=args.requests,
+            clients=args.clients,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            seed=args.seed,
+            compare=not args.no_compare,
+            transport=args.transport,
+        )
+    except ModelArtifactError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(render_bench_serve(result))
     return 0
 
 
@@ -434,20 +510,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="ingest raw matrix files (.mtx/.mtx.gz/.npz/recipe:) and serve "
-        "kernel decisions from a registered model",
+        "kernel decisions from a registered model, one-shot or as a "
+        "persistent daemon",
     )
     serve.add_argument(
-        "corpus", metavar="PATH",
+        "corpus", nargs="?", default=None, metavar="PATH",
         help="matrix directory, manifest file, single matrix file or a "
-        "recipe:<builder>?key=value spec",
+        "recipe:<builder>?key=value spec (omit with --daemon)",
     )
     serve.add_argument(
-        "--model", required=True, metavar="PATH",
+        "--model", default=None, metavar="PATH",
         help="path to a model.json (or the directory containing it)",
     )
     serve.add_argument(
-        "--iterations", type=int, default=1, metavar="N",
-        help="iteration count the decisions assume (default: %(default)s)",
+        "--iterations", type=int, default=None, metavar="N",
+        help="iteration count the decisions assume (default: 1)",
     )
     serve.add_argument(
         "--out-dir", default=".", metavar="DIR",
@@ -458,8 +535,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="domain-specific workload parameter (e.g. num_vectors=8 for "
         "spmm); may be repeated",
     )
+    serve.add_argument(
+        "--daemon", action="store_true",
+        help="run the persistent serving daemon (dynamic batching, warm "
+        "caches, HTTP API) instead of a one-shot corpus pass",
+    )
+    serve.add_argument(
+        "--config", default=None, metavar="TOML",
+        help="daemon configuration file (service.toml); CLI flags override "
+        "individual settings",
+    )
+    serve.add_argument(
+        "--host", default=None, metavar="HOST",
+        help="daemon bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="daemon port (default: 0 = ephemeral, printed on startup)",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int, default=None, metavar="N",
+        help="daemon admission-batch window size (flush-on-full trigger)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=None, metavar="MS",
+        help="daemon admission-window deadline (flush-on-timer trigger)",
+    )
+    serve.add_argument(
+        "--log-dir", default=None, metavar="DIR",
+        help="daemon run directory for requests.log + summary.json",
+    )
     _add_engine_options(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    bench = sub.add_parser(
+        "bench", help="serving benchmarks (closed-loop load generation)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_serve = bench_sub.add_parser(
+        "serve",
+        help="drive the serving daemon with closed-loop clients and compare "
+        "batched admission against per-request inference",
+    )
+    bench_serve.add_argument(
+        "--model", required=True, metavar="PATH",
+        help="path to a model.json (or the directory containing it)",
+    )
+    bench_serve.add_argument(
+        "--requests", type=int, default=200, metavar="N",
+        help="total requests per run (default: %(default)s)",
+    )
+    bench_serve.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="concurrent closed-loop client threads (default: %(default)s)",
+    )
+    bench_serve.add_argument(
+        "--max-batch-size", type=int, default=8, metavar="N",
+        help="admission-batch window of the batched run (default: %(default)s)",
+    )
+    bench_serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0, metavar="MS",
+        help="admission-window deadline (default: %(default)s)",
+    )
+    bench_serve.add_argument(
+        "--seed", type=int, default=7, metavar="SEED",
+        help="seed of the synthetic request stream (default: %(default)s)",
+    )
+    bench_serve.add_argument(
+        "--transport", choices=("inproc", "http"), default="inproc",
+        help="inproc submits straight into the admission batcher (isolates "
+        "the batching/inference signal, regression-guarded); http drives "
+        "/v1/serve over real sockets (end-to-end, transport-dominated) "
+        "(default: %(default)s)",
+    )
+    bench_serve.add_argument(
+        "--no-compare", action="store_true",
+        help="skip the per-request (max_batch_size=1) baseline run",
+    )
+    bench_serve.add_argument(
+        "--json", action="store_true",
+        help="emit the raw measurement document instead of the table",
+    )
+    bench_serve.set_defaults(func=_cmd_bench_serve)
 
     experiments = sub.add_parser(
         "experiments", help="list or run the registered experiment suite"

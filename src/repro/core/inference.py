@@ -103,7 +103,7 @@ class SeerPredictor:
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         known = self.pipeline.known_features(workload, iterations)
-        return self._decide(known, name, lambda: self.pipeline.gather(workload))
+        return self._decide_flow(known, name, lambda: self.pipeline.gather(workload))
 
     def predict_from_features(
         self,
@@ -118,7 +118,7 @@ class SeerPredictor:
         sweep already measured the gathered features and their collection
         cost, so re-simulating collection here would double-count it.
         """
-        return self._decide(
+        return self._decide_flow(
             known, name, lambda: gathered.with_collection_time(collection_time_ms)
         )
 
@@ -180,7 +180,53 @@ class SeerPredictor:
             )
         return decisions
 
+    def serve(self, request, cache=None, execute: bool = False):
+        """Serve one unified-API request through this predictor.
+
+        ``request`` is a :class:`~repro.serving.requests.ServeRequest` —
+        either a matrix reference (featurized through the predictor's
+        pipeline, optionally executing the chosen kernel when ``execute``)
+        or inline features.  Returns the matching
+        :class:`~repro.serving.requests.ServeResponse`; invalid requests
+        raise :class:`~repro.serving.requests.IngestError`.  This is the
+        stable entry point that replaces calling :meth:`_decide` with a
+        positional gather callback.
+        """
+        from repro.serving.requests import evaluate_requests
+
+        responses, _ = evaluate_requests(
+            self.models,
+            [request],
+            domain=self.domain,
+            device=self.device,
+            pipeline=self.pipeline,
+            cache=cache,
+            execute=execute,
+            strict=True,
+        )
+        return responses[0]
+
     def _decide(self, known, name: str, gather) -> SelectionDecision:
+        """Deprecated positional gather-callback entry point.
+
+        Kept as a bit-identical shim for one release: external callers used
+        to drive the Fig. 3 flow by handing ``(known, name, gather)``
+        directly; the supported surface is now :meth:`serve` with a
+        :class:`~repro.serving.requests.ServeRequest` (or the high-level
+        :meth:`predict` / :meth:`predict_from_features`).
+        """
+        import warnings
+
+        warnings.warn(
+            "SeerPredictor._decide(known, name, gather) is deprecated; "
+            "build a repro.serving.requests.ServeRequest and call "
+            "SeerPredictor.serve() (or use predict()/predict_from_features())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._decide_flow(known, name, gather)
+
+    def _decide_flow(self, known, name: str, gather) -> SelectionDecision:
         """The Fig. 3 decision flow; ``gather`` yields the paid feature row."""
         known_vector = known.as_vector()
         selector_choice = self.models.predict_selector(known_vector)

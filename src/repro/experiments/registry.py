@@ -280,6 +280,27 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     # Ingested corpora
     # ------------------------------------------------------------------
+    def corpus_requests(self, options=None, iterations: int = 1) -> list:
+        """The corpus as unified :class:`~repro.serving.ServeRequest` objects.
+
+        One request per discovered source, carrying the validated workload
+        options — the same objects the serving daemon and ``repro serve``
+        consume, so an experiment suite and a deployed service can never
+        disagree about how a corpus is interpreted.
+        """
+        if self.corpus is None:
+            raise ValueError(
+                "this ExperimentContext has no corpus; pass "
+                "ExperimentContext(corpus=<dir-or-manifest>)"
+            )
+        from repro.pipeline.sources import discover_sources
+        from repro.serving.requests import requests_from_sources
+
+        options = self.domain.validate_serving_options(options)
+        return requests_from_sources(
+            discover_sources(self.corpus), iterations=iterations, options=options
+        )
+
     def corpus_records(self, options=None) -> list:
         """Workload records ingested from the context's raw-matrix corpus.
 

@@ -13,9 +13,16 @@ trees, select kernels at runtime for pennies):
 * :mod:`repro.serving.registry` — a versioned on-disk registry keyed by the
   same config-plus-source-digest hashes the sweep engine uses, populated by
   ``repro train --save`` and served by ``repro predict``;
+* :mod:`repro.serving.requests` — the unified request/response API
+  (:class:`ServeRequest`/:class:`ServeResponse`) and the admission-batched
+  :func:`evaluate_requests` core that every serving entry point shares;
 * :mod:`repro.serving.ingest` — raw-matrix ingestion (``.mtx``/``.mtx.gz``/
   ``.npz``/``recipe:`` corpora through a content-addressed cache tier) and
-  the parallel batch-serving loop behind ``repro serve``.
+  the parallel batch-serving loop behind ``repro serve``;
+* :mod:`repro.serving.service` — the persistent serving daemon
+  (``repro serve --daemon``): warm caches, dynamic batching of concurrent
+  requests into ``predict_batch`` windows, ``/metrics`` counters and a JSON
+  shutdown summary.
 """
 
 from repro.serving.artifacts import (
@@ -44,14 +51,28 @@ from repro.serving.ingest import (
     write_serve_artifact,
 )
 from repro.serving.registry import MANIFEST_FILE_NAME, ModelRegistry
+from repro.serving.requests import (
+    ServeFailure,
+    ServeRequest,
+    ServeResponse,
+    evaluate_requests,
+    requests_from_rows,
+    requests_from_sources,
+)
 
 __all__ = [
     "DECISIONS_FILE_NAME",
     "IngestCache",
     "IngestError",
     "ServeDecision",
+    "ServeFailure",
+    "ServeRequest",
+    "ServeResponse",
     "ServeResult",
+    "evaluate_requests",
     "ingest_records",
+    "requests_from_rows",
+    "requests_from_sources",
     "serve_sources",
     "write_serve_artifact",
     "MODEL_FILE_NAME",

@@ -35,7 +35,6 @@ from repro.bench.engine import (
     run_chunked,
     stable_hash,
 )
-from repro.core.inference import SeerPredictor
 from repro.domains import get_domain
 from repro.domains.base import jsonable
 from repro.experiments.registry import (
@@ -43,13 +42,29 @@ from repro.experiments.registry import (
     ExperimentArtifact,
 )
 from repro.gpu.device import MI100, DeviceSpec
-from repro.kernels.base import UnsupportedKernelError
 from repro.pipeline.sources import (
     discover_sources,
     ensure_unique_names,
     load_source,
     resolve_source,
     source_digest,
+)
+
+# The unified request/response API (and the shared column-validation
+# helpers, which historically lived here) — re-exported so existing
+# ``repro.serving.ingest`` imports keep working.
+from repro.serving.requests import (  # noqa: F401  (re-exports)
+    IngestError,
+    ServeFailure,
+    ServeRequest,
+    ServeResponse,
+    evaluate_requests,
+    feature_matrix,
+    feature_vector,
+    parse_numeric_cell,
+    parse_workload_options,
+    requests_from_rows,
+    requests_from_sources,
 )
 from repro.sparse import io as sparse_io
 from repro.sparse.coo import SparseFormatError
@@ -61,72 +76,6 @@ INGEST_FORMAT_VERSION = 1
 #: File names of one serve run's artifact pair.
 DECISIONS_FILE_NAME = "decisions.csv"
 SERVE_MANIFEST_FILE_NAME = "manifest.json"
-
-
-class IngestError(RuntimeError):
-    """A serving input (CSV cell, workload option, source) is invalid."""
-
-
-# ----------------------------------------------------------------------
-# Column validation — shared by ``repro predict --batch`` and ``repro serve``
-# ----------------------------------------------------------------------
-def parse_numeric_cell(value, column: str, origin, line: int) -> float:
-    """One CSV/option cell as a float, or a one-line :class:`IngestError`.
-
-    ``origin``/``line`` name the offending location (`file:line`), so CLI
-    callers can surface the message verbatim without a traceback.
-    """
-    try:
-        return float(value)
-    except TypeError:
-        raise IngestError(
-            f"{origin}:{line} is missing a value for column {column!r}"
-        ) from None
-    except ValueError:
-        raise IngestError(
-            f"{origin}:{line} has a non-numeric value {value!r} for "
-            f"column {column!r}"
-        ) from None
-
-
-def feature_matrix(rows, names, origin, kind: str) -> list:
-    """Extract the named feature columns of every row as floats.
-
-    The column-validation helper behind both serving entry points: missing
-    columns and unparseable numeric cells raise :class:`IngestError` with a
-    one-line message naming the file, line and column.
-    """
-    matrix = []
-    for line, row in enumerate(rows, start=2):
-        vector = []
-        for name in names:
-            if name not in row or row[name] is None:
-                raise IngestError(
-                    f"{origin}:{line} is missing {kind} feature column {name!r}"
-                )
-            try:
-                vector.append(float(row[name]))
-            except ValueError:
-                raise IngestError(
-                    f"{origin}:{line} has a non-numeric value {row[name]!r} "
-                    f"for feature {name!r}"
-                ) from None
-        matrix.append(vector)
-    return matrix
-
-
-def parse_workload_options(pairs) -> dict:
-    """``KEY=VALUE`` workload options as a dict of ints/floats."""
-    options = {}
-    for index, pair in enumerate(pairs or (), start=1):
-        key, eq, text = str(pair).partition("=")
-        if not eq or not key:
-            raise IngestError(
-                f"workload option {pair!r} is malformed (want KEY=VALUE)"
-            )
-        value = parse_numeric_cell(text, key, "--workload-option", index)
-        options[key] = int(value) if float(value).is_integer() else value
-    return options
 
 
 # ----------------------------------------------------------------------
@@ -223,14 +172,17 @@ def ingest_records(target, domain=None, cache_dir=None, options=None) -> list:
     options = domain.validate_serving_options(options)
     sources = _resolve_target(target)
     cache = IngestCache(cache_dir) if cache_dir is not None else None
+    # Corpus suites consume the same ServeRequest objects the serving core
+    # does, so request validation can never diverge between the two.
+    requests = requests_from_sources(sources, options=options)
     records = []
-    for source in sources:
+    for source, request in zip(sources, requests):
         matrix, _ = ingest_matrix(source, cache)
         records.append(
             MatrixRecord(
-                name=source.name,
+                name=request.name,
                 family=source.kind,
-                matrix=domain.serving_workload(matrix, options),
+                matrix=domain.serving_workload(matrix, request.options),
             )
         )
     return records
@@ -255,6 +207,24 @@ class ServeDecision:
     inference_time_ms: float
     preprocessing_ms: float
     runtime_ms: float
+
+    @classmethod
+    def from_response(cls, response: ServeResponse) -> "ServeDecision":
+        """The artifact-row form of one unified-API :class:`ServeResponse`."""
+        return cls(
+            name=response.name,
+            source=response.source,
+            kind=response.kind,
+            known=response.known,
+            gathered=response.gathered,
+            selector_choice=response.selector_choice,
+            kernel=response.kernel,
+            supported=response.supported,
+            collection_time_ms=response.collection_time_ms,
+            inference_time_ms=response.inference_time_ms,
+            preprocessing_ms=response.preprocessing_ms,
+            runtime_ms=response.runtime_ms,
+        )
 
     @property
     def kernel_total_ms(self) -> float:
@@ -387,50 +357,29 @@ def _serve_chunk(
     Runs in a worker process (module-level, picklable).  The models cross
     the boundary as plain dataclasses; the domain crosses as an object —
     registered domains pickle by name and resolve to the worker's singleton,
-    exactly as the engine's benchmark workers handle it.  The predictor and
-    its pipeline are rebuilt per chunk, which changes nothing — featurization
-    and the simulated timings are deterministic.  Returns
+    exactly as the engine's benchmark workers handle it.  The chunk goes
+    through the unified serving core as one admission batch
+    (:func:`repro.serving.requests.evaluate_requests`), whose vectorized
+    tree passes are element-wise identical to the serial predictor flow —
+    featurization and the simulated timings stay deterministic.  Returns
     ``(decisions, ingested, cache_hits)``.
     """
     domain = get_domain(domain)
     cache = IngestCache(cache_dir) if cache_dir is not None else None
-    predictor = SeerPredictor(models, device=device, domain=domain)
-    decisions = []
-    ingested = 0
-    hits = 0
-    for source in sources:
-        matrix, hit = ingest_matrix(source, cache)
-        if hit:
-            hits += 1
-        else:
-            ingested += 1
-        workload = domain.serving_workload(matrix, options or {})
-        decision = predictor.predict(workload, iterations=iterations, name=source.name)
-        kernel = domain.make_kernel(decision.kernel_name, device)
-        try:
-            timing = kernel.timing(workload)
-            preprocessing_ms, runtime_ms = timing.preprocessing_ms, timing.iteration_ms
-            supported = True
-        except UnsupportedKernelError:
-            preprocessing_ms, runtime_ms = 0.0, math.inf
-            supported = False
-        decisions.append(
-            ServeDecision(
-                name=source.name,
-                source=source.location,
-                kind=source.kind,
-                known=decision.known,
-                gathered=decision.gathered,
-                selector_choice=decision.selector_choice,
-                kernel=decision.kernel_name,
-                supported=supported,
-                collection_time_ms=decision.collection_time_ms,
-                inference_time_ms=decision.inference_time_ms,
-                preprocessing_ms=preprocessing_ms,
-                runtime_ms=runtime_ms,
-            )
-        )
-    return decisions, ingested, hits
+    requests = requests_from_sources(
+        sources, iterations=iterations, options=options or {}
+    )
+    responses, stats = evaluate_requests(
+        models,
+        requests,
+        domain=domain,
+        device=device,
+        cache=cache,
+        execute=True,
+        strict=True,
+    )
+    decisions = [ServeDecision.from_response(response) for response in responses]
+    return decisions, stats.matrices_ingested, stats.ingest_cache_hits
 
 
 def serve_sources(

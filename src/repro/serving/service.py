@@ -1,0 +1,884 @@
+"""The persistent serving daemon: ``repro serve --daemon``.
+
+One-shot serving re-pays every fixed cost on every invocation: model
+loading, pipeline construction, matrix parsing.  The daemon keeps all of
+that warm across requests and adds *dynamic batching* — concurrent
+single-workload requests are coalesced into admission windows and decided
+through one vectorized :meth:`~repro.core.training.SeerModels.predict_batch`
+pass, so sustained traffic amortizes tree inference the same way the
+offline suite does.  Everything speaks the unified request/response API of
+:mod:`repro.serving.requests`; decisions are element-wise identical to the
+one-shot ``repro serve`` path.
+
+The moving parts, stdlib only:
+
+* :class:`ServiceConfig` — declarative, validated configuration, loadable
+  from a small TOML file (``repro serve --daemon --config service.toml``);
+  a minimal TOML-subset parser backs Pythons without :mod:`tomllib`;
+* :class:`ModelHub` — hot-loads model artifacts on first use (an explicit
+  ``model.json`` path and/or any ``<domain>/<profile>`` out of a
+  :class:`~repro.serving.registry.ModelRegistry`) and keeps them, plus one
+  warm :class:`~repro.pipeline.FeaturePipeline` per domain, for the life of
+  the process;
+* :class:`DynamicBatcher` — a condition-variable admission queue: a batch
+  flushes when it reaches ``max_batch_size`` (*full*) or when the window
+  opened by its first request exceeds ``max_wait_ms`` (*timer*);
+* :class:`ServiceMetrics` — lock-guarded counters behind ``GET /metrics``
+  and the JSON shutdown summary;
+* :class:`ServingService` — the threaded HTTP server: ``GET /healthz``,
+  ``GET /metrics``, ``POST /v1/serve`` (one request object → admission
+  batching; ``{"requests": [...]}`` → served as its own batch) and
+  ``POST /shutdown``.  Shutdown — request, signal or context exit — stops
+  the accept loop, drains in-flight batches, joins handler threads and
+  writes ``summary.json`` (plus a ``requests.log`` JSONL) into the
+  configured log directory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.common import DEFAULT_PROFILE
+from repro.gpu.device import MI100, DeviceSpec
+from repro.serving.ingest import IngestCache
+from repro.serving.requests import (
+    IngestError,
+    ServeFailure,
+    ServeRequest,
+    evaluate_requests,
+)
+
+#: File names of one daemon run's log-directory artifacts (the run-directory
+#: pattern: everything a run produced, together under one root).
+REQUEST_LOG_FILE_NAME = "requests.log"
+SUMMARY_FILE_NAME = "summary.json"
+
+
+class ServiceConfigError(ValueError):
+    """A daemon configuration file or value is invalid."""
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def _parse_toml_minimal(text: str) -> dict:
+    """Parse the TOML subset service configs use (fallback for py<3.11).
+
+    Supports ``[table]`` headers, ``key = value`` pairs with quoted-string,
+    boolean, integer and float values, comments and blank lines — enough
+    for ``service.toml`` without any third-party dependency.  Real
+    :mod:`tomllib` is preferred when the interpreter has it.
+    """
+    data: dict = {}
+    table = data
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            if not name:
+                raise ServiceConfigError(f"line {lineno}: empty table name")
+            table = data.setdefault(name, {})
+            continue
+        key, eq, value = line.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise ServiceConfigError(
+                f"line {lineno}: expected 'key = value', got {raw.strip()!r}"
+            )
+        value = value.strip()
+        if value[:1] in ('"', "'"):
+            quote = value[0]
+            end = value.find(quote, 1)
+            if end < 0:
+                raise ServiceConfigError(
+                    f"line {lineno}: unterminated string {value!r}"
+                )
+            trailing = value[end + 1:].strip()
+            if trailing and not trailing.startswith("#"):
+                raise ServiceConfigError(
+                    f"line {lineno}: unexpected text after string: {trailing!r}"
+                )
+            table[key] = value[1:end]
+            continue
+        value = value.split("#", 1)[0].strip()
+        if value in ("true", "false"):
+            table[key] = value == "true"
+        else:
+            try:
+                table[key] = int(value)
+            except ValueError:
+                try:
+                    table[key] = float(value)
+                except ValueError:
+                    raise ServiceConfigError(
+                        f"line {lineno}: unsupported value {value!r} (the "
+                        f"minimal parser accepts strings, booleans, integers "
+                        f"and floats)"
+                    ) from None
+    return data
+
+
+def _load_toml(path: Path) -> dict:
+    try:
+        import tomllib
+    except ImportError:
+        tomllib = None
+    try:
+        if tomllib is not None:
+            with open(path, "rb") as handle:
+                return tomllib.load(handle)
+        return _parse_toml_minimal(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ServiceConfigError(f"{path}: unreadable config ({error})") from None
+    except ValueError as error:
+        raise ServiceConfigError(f"{path}: {error}") from None
+
+
+#: Keys a ``[service]`` table (or flag overrides) may set.
+_CONFIG_KEYS = frozenset(
+    {
+        "host",
+        "port",
+        "model",
+        "registry",
+        "domain",
+        "profile",
+        "max_batch_size",
+        "max_wait_ms",
+        "cache_dir",
+        "iterations",
+        "log_dir",
+        "execute",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Declarative, eagerly-validated daemon configuration.
+
+    Exactly one model origin is required: ``model`` (a ``model.json`` path,
+    served as the default and the only model) and/or ``registry`` (a
+    :class:`~repro.serving.registry.ModelRegistry` root, from which any
+    ``<domain>/<profile>`` a request selects is hot-loaded; ``domain`` +
+    ``profile`` name the default).  ``port = 0`` binds an ephemeral port —
+    the daemon prints the bound address on startup.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    model: Optional[str] = None
+    registry: Optional[str] = None
+    domain: Optional[str] = None
+    profile: str = DEFAULT_PROFILE
+    max_batch_size: int = 16
+    max_wait_ms: float = 5.0
+    cache_dir: Optional[str] = None
+    iterations: int = 1
+    log_dir: Optional[str] = None
+    execute: bool = True
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.model is None and self.registry is None:
+            raise ServiceConfigError(
+                "the service needs a model origin: set 'model' (a model.json "
+                "path) or 'registry' (a model-registry root)"
+            )
+        if not isinstance(self.port, int) or not 0 <= self.port <= 65535:
+            raise ServiceConfigError(f"port must be 0..65535, got {self.port!r}")
+        if int(self.max_batch_size) < 1:
+            raise ServiceConfigError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size!r}"
+            )
+        if float(self.max_wait_ms) < 0:
+            raise ServiceConfigError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms!r}"
+            )
+        if int(self.iterations) < 1:
+            raise ServiceConfigError(
+                f"iterations must be >= 1, got {self.iterations!r}"
+            )
+
+    @classmethod
+    def from_mapping(cls, data: dict, origin: str = "config") -> "ServiceConfig":
+        """Build a config from a parsed TOML document (or plain dict).
+
+        Keys may sit at the top level or under a ``[service]`` table;
+        workload options go in an ``[options]`` table.  Unknown keys are
+        rejected — a typo silently falling back to a default would run the
+        daemon with the wrong window or model.
+        """
+        data = dict(data or {})
+        service = dict(data.pop("service", {}) or {})
+        options = dict(data.pop("options", {}) or {})
+        for key, value in data.items():
+            if isinstance(value, dict):
+                raise ServiceConfigError(
+                    f"{origin}: unknown table [{key}] (expected [service] "
+                    f"and/or [options])"
+                )
+            service.setdefault(key, value)
+        unknown = sorted(set(service) - _CONFIG_KEYS)
+        if unknown:
+            raise ServiceConfigError(
+                f"{origin}: unknown setting(s) {', '.join(map(repr, unknown))}; "
+                f"expected a subset of {sorted(_CONFIG_KEYS)}"
+            )
+        return cls(options=options, **service)
+
+    @classmethod
+    def from_toml(cls, path) -> "ServiceConfig":
+        path = Path(path)
+        return cls.from_mapping(_load_toml(path), origin=str(path))
+
+    def with_overrides(self, **overrides) -> "ServiceConfig":
+        """A copy with non-``None`` overrides applied (CLI flags)."""
+        import dataclasses
+
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **changes) if changes else self
+
+
+# ----------------------------------------------------------------------
+# Hot model loading
+# ----------------------------------------------------------------------
+class ModelHub:
+    """Loaded-once model artifacts plus one warm pipeline per domain.
+
+    ``resolve(selector)`` maps a request's ``model`` field to a loaded
+    artifact: ``None`` is the configured default, ``"<domain>"`` and
+    ``"<domain>/<profile>"`` come out of the configured registry (loaded on
+    first use, kept for the life of the daemon).  Pipelines — whose
+    collectors are the expensive part — are shared across requests and
+    batches, which is exactly the warm state one-shot serving cannot keep.
+    """
+
+    def __init__(self, config: ServiceConfig, device: DeviceSpec = MI100):
+        from repro.serving.registry import ModelRegistry
+
+        self.config = config
+        self.device = device
+        self.registry = (
+            ModelRegistry(config.registry) if config.registry is not None else None
+        )
+        self._lock = threading.Lock()
+        self._artifacts: dict = {}
+        self._pipelines: dict = {}
+
+    @property
+    def default_key(self) -> str:
+        if self.config.model is not None:
+            return "default"
+        domain = self.config.domain or "spmv"
+        return f"{domain}/{self.config.profile}"
+
+    def _load(self, key: str):
+        from repro.serving.artifacts import ModelArtifactError, load_artifact
+
+        if key == "default" and self.config.model is not None:
+            return load_artifact(self.config.model)
+        if self.registry is None:
+            raise IngestError(
+                f"request selects model {key!r} but the service has no "
+                f"registry configured (only the default model is servable)"
+            )
+        domain, _, profile = key.partition("/")
+        profile = profile or self.config.profile
+        path = self.registry.find(domain=domain, profile=profile)
+        if path is None:
+            raise IngestError(
+                f"no model registered for {domain!r}/{profile!r} under "
+                f"{self.registry.root}"
+            )
+        try:
+            return load_artifact(path)
+        except ModelArtifactError as error:
+            raise IngestError(str(error)) from None
+
+    def resolve(self, selector: Optional[str] = None):
+        """The loaded artifact for a request's model selector."""
+        key = selector or ("default" if self.config.model is not None else None)
+        if key is None:
+            key = self.default_key
+        with self._lock:
+            if key not in self._artifacts:
+                self._artifacts[key] = self._load(key)
+            return key, self._artifacts[key]
+
+    def pipeline_for(self, artifact):
+        """The warm feature pipeline of an artifact's domain."""
+        from repro.domains import get_domain
+
+        domain = get_domain(artifact.domain_name)
+        with self._lock:
+            pipeline = self._pipelines.get(domain.name)
+            if pipeline is None:
+                pipeline = domain.make_pipeline(self.device)
+                self._pipelines[domain.name] = pipeline
+            return pipeline
+
+    def loaded_models(self) -> list:
+        with self._lock:
+            return sorted(self._artifacts)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceMetrics:
+    """Lock-guarded service counters (``/metrics`` and the shutdown summary)."""
+
+    requests_total: int = 0
+    responses_total: int = 0
+    failures_total: int = 0
+    inline_requests: int = 0
+    source_requests: int = 0
+    matrices_ingested: int = 0
+    ingest_cache_hits: int = 0
+    gathered_routed: int = 0
+    batches_total: int = 0
+    batch_occupancy_sum: int = 0
+    batch_occupancy_max: int = 0
+    full_flushes: int = 0
+    timer_flushes: int = 0
+    drain_flushes: int = 0
+    latency_ms_sum: float = 0.0
+    latency_ms_max: float = 0.0
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+
+    def record_batch(self, size: int, reason: str) -> None:
+        with self._lock:
+            self.batches_total += 1
+            self.batch_occupancy_sum += size
+            self.batch_occupancy_max = max(self.batch_occupancy_max, size)
+            if reason == "full":
+                self.full_flushes += 1
+            elif reason == "timer":
+                self.timer_flushes += 1
+            else:
+                self.drain_flushes += 1
+
+    def record_results(self, results, stats, latencies_ms) -> None:
+        with self._lock:
+            self.requests_total += len(results)
+            self.responses_total += sum(
+                1 for r in results if not isinstance(r, ServeFailure)
+            )
+            self.failures_total += sum(
+                1 for r in results if isinstance(r, ServeFailure)
+            )
+            self.inline_requests += stats.inline_requests
+            self.source_requests += stats.source_requests
+            self.matrices_ingested += stats.matrices_ingested
+            self.ingest_cache_hits += stats.ingest_cache_hits
+            self.gathered_routed += stats.gathered_routed
+            for latency in latencies_ms:
+                self.latency_ms_sum += latency
+                self.latency_ms_max = max(self.latency_ms_max, latency)
+
+    def snapshot(self) -> dict:
+        """Counters plus derived means/throughput, as one JSON document."""
+        with self._lock:
+            uptime = max(time.monotonic() - self._started, 1e-9)
+            served = self.requests_total
+            batches = self.batches_total
+            return {
+                "requests_total": served,
+                "responses_total": self.responses_total,
+                "failures_total": self.failures_total,
+                "inline_requests": self.inline_requests,
+                "source_requests": self.source_requests,
+                "matrices_ingested": self.matrices_ingested,
+                "ingest_cache_hits": self.ingest_cache_hits,
+                "ingest_cache_hit_rate": (
+                    self.ingest_cache_hits
+                    / max(self.ingest_cache_hits + self.matrices_ingested, 1)
+                ),
+                "gathered_routed": self.gathered_routed,
+                "batches_total": batches,
+                "batch_occupancy_mean": (
+                    self.batch_occupancy_sum / batches if batches else 0.0
+                ),
+                "batch_occupancy_max": self.batch_occupancy_max,
+                "full_flushes": self.full_flushes,
+                "timer_flushes": self.timer_flushes,
+                "drain_flushes": self.drain_flushes,
+                "latency_ms_mean": self.latency_ms_sum / served if served else 0.0,
+                "latency_ms_max": self.latency_ms_max,
+                "uptime_s": uptime,
+                "throughput_rps": served / uptime,
+            }
+
+
+# ----------------------------------------------------------------------
+# Dynamic batching
+# ----------------------------------------------------------------------
+class _Pending:
+    """One enqueued request waiting for its admission batch to flush."""
+
+    __slots__ = ("request", "event", "result", "enqueued")
+
+    def __init__(self, request: ServeRequest):
+        self.request = request
+        self.event = threading.Event()
+        self.result = None
+        self.enqueued = time.monotonic()
+
+
+class DynamicBatcher:
+    """Coalesce concurrent requests into bounded admission windows.
+
+    A window opens when a request lands in an empty queue and flushes when
+    either ``max_batch_size`` requests have accumulated (*flush-on-full*) or
+    ``max_wait_ms`` has elapsed since the window opened (*flush-on-timer*).
+    ``evaluate`` is called with the batched request list and must return one
+    result per request, in order.  :meth:`close` drains everything still
+    queued before returning, so no accepted request is ever dropped.
+    """
+
+    def __init__(
+        self,
+        evaluate,
+        max_batch_size: int = 16,
+        max_wait_ms: float = 5.0,
+        on_flush=None,
+    ):
+        self._evaluate = evaluate
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self._on_flush = on_flush
+        self._queue: list = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    def submit(self, request: ServeRequest, timeout: Optional[float] = None):
+        """Enqueue one request; block until its batch flushes.
+
+        Returns the request's :class:`~repro.serving.requests.ServeResponse`
+        or :class:`~repro.serving.requests.ServeFailure`; raises
+        :class:`RuntimeError` once the batcher is closed.
+        """
+        pending = _Pending(request)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("the serving batcher is closed")
+            self._queue.append(pending)
+            self._cond.notify_all()
+        if not pending.event.wait(timeout):
+            raise TimeoutError(
+                f"request was not served within {timeout} s"
+            )
+        if isinstance(pending.result, BaseException):
+            raise pending.result
+        return pending.result
+
+    def close(self) -> None:
+        """Stop accepting work and drain every queued request."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                # The window opened with the oldest queued request; fill it
+                # until the batch is full, the deadline passes, or we drain.
+                deadline = self._queue[0].enqueued + self.max_wait_ms / 1000.0
+                while (
+                    len(self._queue) < self.max_batch_size and not self._closed
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch = self._queue[: self.max_batch_size]
+                del self._queue[: self.max_batch_size]
+                if len(batch) >= self.max_batch_size:
+                    reason = "full"
+                elif self._closed:
+                    reason = "drain"
+                else:
+                    reason = "timer"
+            self._flush(batch, reason)
+
+    def _flush(self, batch: list, reason: str) -> None:
+        try:
+            results = self._evaluate([pending.request for pending in batch])
+        except BaseException as error:  # deliver, never strand a waiter
+            results = [error] * len(batch)
+        if self._on_flush is not None:
+            self._on_flush(len(batch), reason)
+        for pending, result in zip(batch, results):
+            pending.result = result
+            pending.event.set()
+
+
+# ----------------------------------------------------------------------
+# The HTTP service
+# ----------------------------------------------------------------------
+class _ServingHTTPServer(ThreadingHTTPServer):
+    # Join handler threads on close so graceful shutdown lets in-flight
+    # requests write their responses before the process exits.
+    daemon_threads = False
+    block_on_close = True
+    service: "ServingService" = None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default: per-request stderr chatter is useless under load
+    # and breaks the clean stdout contract of `repro serve --daemon`.
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        pass
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise IngestError("request body is empty (expected JSON)")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise IngestError(f"request body is not valid JSON: {error}") from None
+
+    def do_GET(self):  # noqa: N802 (stdlib casing)
+        service = self.server.service
+        if self.path == "/healthz":
+            if service.draining:
+                self._send_json(503, {"status": "draining"})
+            else:
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "default_model": service.hub.default_key,
+                        "loaded_models": service.hub.loaded_models(),
+                    },
+                )
+        elif self.path == "/metrics":
+            self._send_json(200, service.metrics.snapshot())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self):  # noqa: N802 (stdlib casing)
+        service = self.server.service
+        if self.path == "/shutdown":
+            self._send_json(200, {"status": "shutting down"})
+            threading.Thread(target=service.shutdown, daemon=True).start()
+            return
+        if self.path != "/v1/serve":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            payload = self._read_json()
+        except IngestError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        try:
+            if isinstance(payload, dict) and "requests" in payload:
+                self._serve_many(service, payload)
+            else:
+                self._serve_one(service, payload)
+        except RuntimeError:
+            self._send_json(503, {"error": "the service is shutting down"})
+
+    def _serve_one(self, service, payload) -> None:
+        started = time.monotonic()
+        try:
+            request = ServeRequest.from_payload(payload)
+        except IngestError as error:
+            service.metrics.record_results(
+                [ServeFailure(name="request", error=str(error))],
+                _EMPTY_STATS,
+                [],
+            )
+            self._send_json(400, {"error": str(error)})
+            return
+        result = service.batcher.submit(request)
+        latency_ms = (time.monotonic() - started) * 1000.0
+        service.log_request(result, latency_ms)
+        service.metrics.record_results([], _EMPTY_STATS, [latency_ms])
+        if isinstance(result, ServeFailure):
+            self._send_json(400, result.to_payload())
+        else:
+            self._send_json(200, result.to_payload())
+
+    def _serve_many(self, service, payload) -> None:
+        started = time.monotonic()
+        items = payload.get("requests")
+        if not isinstance(items, list) or not items:
+            self._send_json(
+                400, {"error": "'requests' must be a non-empty JSON array"}
+            )
+            return
+        requests = []
+        for index, item in enumerate(items):
+            try:
+                requests.append(
+                    ServeRequest.from_payload(item, origin="requests", line=index)
+                )
+            except IngestError as error:
+                requests.append(
+                    ServeFailure(name=f"requests[{index}]", error=str(error))
+                )
+        # A client-assembled list is already a batch: serve it as one window
+        # instead of trickling it through the admission queue.
+        results = service.evaluate_batch(requests, reason="full")
+        latency_ms = (time.monotonic() - started) * 1000.0
+        for result in results:
+            service.log_request(result, latency_ms / max(len(results), 1))
+        service.metrics.record_results([], _EMPTY_STATS, [latency_ms])
+        self._send_json(
+            200,
+            {
+                "responses": [result.to_payload() for result in results],
+                "batch_size": len(results),
+            },
+        )
+
+
+class _EmptyStats:
+    inline_requests = 0
+    source_requests = 0
+    matrices_ingested = 0
+    ingest_cache_hits = 0
+    gathered_routed = 0
+
+
+_EMPTY_STATS = _EmptyStats()
+
+
+class ServingService:
+    """The long-running serving daemon behind ``repro serve --daemon``.
+
+    Usable as a context manager (tests run it in-process); the CLI drives
+    :meth:`serve_forever` on the main thread and triggers :meth:`shutdown`
+    from its signal handlers.  All warm state — loaded model artifacts,
+    feature pipelines, the content-addressed ingest cache — lives for the
+    life of the service, and every decision goes through the unified
+    :func:`~repro.serving.requests.evaluate_requests` core.
+    """
+
+    def __init__(self, config: ServiceConfig, device: DeviceSpec = MI100):
+        self.config = config
+        self.device = device
+        self.hub = ModelHub(config, device=device)
+        self.cache = (
+            IngestCache(config.cache_dir) if config.cache_dir is not None else None
+        )
+        self.metrics = ServiceMetrics()
+        self.draining = False
+        self._accepting = False
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = threading.Event()
+        self._log_lock = threading.Lock()
+        self._log_handle = None
+        if config.log_dir is not None:
+            log_dir = Path(config.log_dir)
+            log_dir.mkdir(parents=True, exist_ok=True)
+            self._log_handle = open(
+                log_dir / REQUEST_LOG_FILE_NAME, "a", encoding="utf-8"
+            )
+        # Load the default model eagerly: readiness means servable.
+        self.hub.resolve(None)
+        self.batcher = DynamicBatcher(
+            self._evaluate_for_batcher,
+            max_batch_size=config.max_batch_size,
+            max_wait_ms=config.max_wait_ms,
+            on_flush=self.metrics.record_batch,
+        )
+        self._httpd = _ServingHTTPServer((config.host, config.port), _Handler)
+        self._httpd.service = self
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _evaluate_for_batcher(self, requests: list) -> list:
+        return self.evaluate_batch(requests, reason=None)
+
+    def evaluate_batch(self, requests: list, reason: Optional[str] = "full") -> list:
+        """Serve one batch, grouping by model selector, order preserved.
+
+        ``requests`` may contain pre-failed :class:`ServeFailure` entries
+        (malformed payloads) — they pass through in their slots.  When
+        ``reason`` is given the batch is recorded in the flush metrics
+        (the admission batcher records its own flushes).
+        """
+        results: list = list(requests)
+        groups: dict = {}
+        for index, request in enumerate(requests):
+            if isinstance(request, ServeFailure):
+                continue
+            try:
+                key, artifact = self.hub.resolve(request.model)
+            except IngestError as error:
+                results[index] = ServeFailure(
+                    name=request.name or f"request[{index}]", error=str(error)
+                )
+                continue
+            groups.setdefault(key, ([], []))
+            groups[key][0].append(index)
+            groups[key][1].append(request)
+        for key, (slots, group) in sorted(groups.items()):
+            _, artifact = self.hub.resolve(key)
+            needs_domain = any(not r.is_inline for r in group)
+            domain = artifact.domain_name if needs_domain else None
+            pipeline = self.hub.pipeline_for(artifact) if needs_domain else None
+            group_results, stats = evaluate_requests(
+                artifact.models,
+                group,
+                domain=domain,
+                device=self.device,
+                pipeline=pipeline,
+                cache=self.cache,
+                execute=self.config.execute,
+                strict=False,
+            )
+            self.metrics.record_results(group_results, stats, [])
+            for slot, result in zip(slots, group_results):
+                results[slot] = result
+        if reason is not None:
+            self.metrics.record_batch(len(requests), reason)
+        return results
+
+    def serve_request(self, request: ServeRequest):
+        """Python-API entry point: one request through the admission batcher."""
+        return self.batcher.submit(request)
+
+    def log_request(self, result, latency_ms: float) -> None:
+        """Append one served decision to the run's JSONL request log."""
+        if self._log_handle is None:
+            return
+        if isinstance(result, ServeFailure):
+            record = {"name": result.name, "error": result.error}
+        else:
+            record = {
+                "name": result.name,
+                "selector_choice": result.selector_choice,
+                "kernel": result.kernel,
+                "supported": result.supported,
+            }
+        record["latency_ms"] = round(latency_ms, 3)
+        with self._log_lock:
+            self._log_handle.write(json.dumps(record) + "\n")
+            self._log_handle.flush()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` — resolves ephemeral port 0."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Run the accept loop until :meth:`shutdown` (blocking)."""
+        self._accepting = True
+        try:
+            self._httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self.shutdown()
+
+    def start_background(self) -> threading.Thread:
+        """Run the accept loop on a background thread (tests, load gen)."""
+        self._accepting = True
+        thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="serve-http",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def shutdown(self) -> Optional[dict]:
+        """Graceful drain: stop accepting, finish in-flight work, summarize.
+
+        Safe to call from any thread (HTTP ``/shutdown``, signal handlers,
+        context exit) and idempotent — the first caller performs the drain
+        and writes ``summary.json``; later callers wait for it and get
+        ``None``.
+        """
+        with self._shutdown_lock:
+            if self.draining:
+                self._shutdown_done.wait()
+                return None
+            self.draining = True
+        # BaseServer.shutdown() blocks until serve_forever() exits, which
+        # deadlocks when the accept loop was never started (embedded use:
+        # batcher-only, no HTTP traffic) — skip straight to the drain.
+        if self._accepting:
+            self._httpd.shutdown()
+        self.batcher.close()
+        self._httpd.server_close()
+        summary = self.summary()
+        if self.config.log_dir is not None:
+            summary_path = Path(self.config.log_dir) / SUMMARY_FILE_NAME
+            summary_path.write_text(
+                json.dumps(summary, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        if self._log_handle is not None:
+            with self._log_lock:
+                self._log_handle.close()
+                self._log_handle = None
+        self._shutdown_done.set()
+        return summary
+
+    def summary(self) -> dict:
+        """The shutdown-summary document (also servable any time)."""
+        return {
+            "service": {
+                "default_model": self.hub.default_key,
+                "loaded_models": self.hub.loaded_models(),
+                "max_batch_size": self.config.max_batch_size,
+                "max_wait_ms": self.config.max_wait_ms,
+                "execute": self.config.execute,
+            },
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def __enter__(self) -> "ServingService":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -215,7 +215,9 @@ def test_experiment_context_memoizes_per_option_set(corpus, monkeypatch):
 
 
 def test_fractional_num_vectors_rejected(tiny_sweep_spmm, corpus):
-    with pytest.raises(ValueError, match="whole number"):
+    # The unified request core labels the failing request instead of letting
+    # the domain's raw ValueError escape.
+    with pytest.raises(IngestError, match="whole number"):
         serve_sources(
             corpus,
             tiny_sweep_spmm.models,

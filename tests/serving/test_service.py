@@ -1,0 +1,480 @@
+"""Daemon lifecycle tests: config, readiness, batching, drain, shutdown.
+
+The :class:`ServingService` is exercised in-process (context manager +
+real HTTP over an ephemeral port) for readiness, concurrent-vs-one-shot
+parity and the flush triggers, and as a subprocess for the SIGTERM drain
+contract ``repro serve --daemon`` promises.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serving.artifacts import save_models
+from repro.serving.ingest import serve_sources
+from repro.serving.requests import ServeFailure, ServeRequest
+from repro.serving.service import (
+    DynamicBatcher,
+    ServiceConfig,
+    ServiceConfigError,
+    ServingService,
+    _parse_toml_minimal,
+)
+from repro.sparse.generators import banded_matrix, power_law_matrix
+from repro.sparse.io import write_matrix_market
+
+
+@pytest.fixture(scope="module")
+def model_path(tiny_sweep, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("service-model")
+    return str(
+        save_models(tiny_sweep.models, directory / "model.json", domain="spmv")
+    )
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    directory = tmp_path / "corpus"
+    directory.mkdir()
+    write_matrix_market(
+        power_law_matrix(200, 200, 5.0, rng=3), directory / "pl.mtx"
+    )
+    write_matrix_market(banded_matrix(128, 7, rng=1), directory / "band.mtx")
+    return directory
+
+
+def _config(model_path, **overrides):
+    settings = dict(model=model_path, port=0, execute=False)
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+def _get(url: str) -> tuple:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _post(url: str, payload: dict) -> tuple:
+    data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def test_minimal_toml_parser_covers_the_service_subset():
+    parsed = _parse_toml_minimal(
+        "\n".join(
+            [
+                "# a service config",
+                "[service]",
+                'model = "models/model.json"  # trailing comment',
+                "port = 8091",
+                "max_wait_ms = 2.5",
+                "execute = false",
+                'host = "0.0.0.0"',
+                "[options]",
+                "num_vectors = 8",
+            ]
+        )
+    )
+    assert parsed == {
+        "service": {
+            "model": "models/model.json",
+            "port": 8091,
+            "max_wait_ms": 2.5,
+            "execute": False,
+            "host": "0.0.0.0",
+        },
+        "options": {"num_vectors": 8},
+    }
+
+
+def test_minimal_toml_parser_rejects_garbage():
+    with pytest.raises(ServiceConfigError, match="line 1: expected 'key = value'"):
+        _parse_toml_minimal("not toml at all")
+    with pytest.raises(ServiceConfigError, match="unterminated string"):
+        _parse_toml_minimal('model = "half')
+    with pytest.raises(ServiceConfigError, match="unsupported value"):
+        _parse_toml_minimal("port = [8091]")
+
+
+def test_config_requires_a_model_origin():
+    with pytest.raises(ServiceConfigError, match="needs a model origin"):
+        ServiceConfig()
+
+
+def test_config_validates_ranges(model_path):
+    with pytest.raises(ServiceConfigError, match="max_batch_size"):
+        ServiceConfig(model=model_path, max_batch_size=0)
+    with pytest.raises(ServiceConfigError, match="max_wait_ms"):
+        ServiceConfig(model=model_path, max_wait_ms=-1.0)
+    with pytest.raises(ServiceConfigError, match="port"):
+        ServiceConfig(model=model_path, port=70000)
+    with pytest.raises(ServiceConfigError, match="iterations"):
+        ServiceConfig(model=model_path, iterations=0)
+
+
+def test_config_from_mapping_rejects_unknown_settings(model_path):
+    with pytest.raises(ServiceConfigError, match=r"unknown setting\(s\) 'prot'"):
+        ServiceConfig.from_mapping({"model": model_path, "prot": 1})
+    with pytest.raises(ServiceConfigError, match=r"unknown table \[srvice\]"):
+        ServiceConfig.from_mapping({"srvice": {"model": model_path}})
+
+
+def test_config_from_toml_and_overrides(model_path, tmp_path):
+    path = tmp_path / "service.toml"
+    path.write_text(
+        "[service]\n"
+        f'model = "{model_path}"\n'
+        "max_batch_size = 4\n"
+        "max_wait_ms = 10.0\n"
+    )
+    config = ServiceConfig.from_toml(path)
+    assert config.max_batch_size == 4 and config.max_wait_ms == 10.0
+    overridden = config.with_overrides(max_batch_size=32, host=None)
+    assert overridden.max_batch_size == 32
+    assert overridden.host == config.host  # None means "keep"
+
+
+# ----------------------------------------------------------------------
+# Readiness and the request/response wire contract
+# ----------------------------------------------------------------------
+def test_daemon_readiness_and_single_request(model_path, tiny_sweep):
+    with ServingService(_config(model_path)) as service:
+        status, health = _get(service.url + "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["default_model"] == "default"
+        assert health["loaded_models"] == ["default"]
+
+        known = {name: 1.0 for name in tiny_sweep.models.known_feature_names}
+        known.update(rows=512, cols=512, nnz=4096, iterations=1)
+        gathered = {
+            name: 0.5 for name in tiny_sweep.models.gathered_feature_names
+        }
+        status, body = _post(
+            service.url + "/v1/serve",
+            {"name": "w", "known": known, "gathered": gathered},
+        )
+        assert status == 200
+        assert body["name"] == "w"
+        assert body["kernel"] in tiny_sweep.models.kernel_names
+        assert body["selector_choice"] in ("known", "gathered")
+
+        status, body = _post(
+            service.url + "/v1/serve", {"name": "w", "bogus": 1}
+        )
+        assert status == 400
+        assert "unknown request field(s) 'bogus'" in body["error"]
+
+        status, metrics = _get(service.url + "/metrics")
+        assert status == 200
+        assert metrics["requests_total"] == 2
+        assert metrics["responses_total"] == 1
+        assert metrics["failures_total"] == 1  # the malformed payload
+    assert service.draining
+
+
+def test_concurrent_daemon_matches_one_shot_serve(
+    model_path, tiny_sweep, corpus, tmp_path
+):
+    """N concurrent clients get decisions element-wise identical to
+    one-shot ``repro serve`` over the same corpus."""
+    one_shot = serve_sources(
+        corpus,
+        tiny_sweep.models,
+        domain="spmv",
+        iterations=3,
+        cache_dir=tmp_path / "oneshot-cache",
+    )
+    config = _config(
+        model_path,
+        execute=True,
+        max_batch_size=4,
+        max_wait_ms=50.0,
+        cache_dir=str(tmp_path / "daemon-cache"),
+    )
+    replies = {}
+    failures = []
+    with ServingService(config) as service:
+        url = service.url + "/v1/serve"
+
+        def client(decision):
+            payload = {
+                "name": decision.name,
+                "source": str(corpus / f"{decision.name}.mtx"),
+                "iterations": 3,
+            }
+            try:
+                status, body = _post(url, payload)
+                assert status == 200, body
+                replies[decision.name] = body
+            except Exception as error:  # surfaced after join
+                failures.append((decision.name, error))
+
+        threads = [
+            threading.Thread(target=client, args=(d,))
+            for d in one_shot.decisions
+            for _ in range(3)  # duplicates exercise the cache under load
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        metrics = service.metrics.snapshot()
+    assert failures == []
+    for decision in one_shot.decisions:
+        body = replies[decision.name]
+        assert body["selector_choice"] == decision.selector_choice
+        assert body["kernel"] == decision.kernel
+        assert body["iterations"] == 3
+        assert body["known"] == decision.known.as_dict()
+        assert body["gathered"] == decision.gathered.as_dict()
+        assert body["collection_time_ms"] == decision.collection_time_ms
+        assert body["runtime_ms"] == decision.runtime_ms
+    assert metrics["requests_total"] == 3 * len(one_shot.decisions)
+    # Each matrix is ingested at most once; the duplicates hit the warm cache.
+    assert metrics["matrices_ingested"] == len(one_shot.decisions)
+    assert metrics["ingest_cache_hits"] == 2 * len(one_shot.decisions)
+
+
+def test_client_assembled_batch_round_trip(model_path, tiny_sweep):
+    known = {name: 1.0 for name in tiny_sweep.models.known_feature_names}
+    known.update(rows=64, cols=64, nnz=512, iterations=1)
+    gathered = {name: 0.5 for name in tiny_sweep.models.gathered_feature_names}
+    with ServingService(_config(model_path)) as service:
+        status, body = _post(
+            service.url + "/v1/serve",
+            {
+                "requests": [
+                    {"name": "a", "known": known, "gathered": gathered},
+                    {"name": "broken", "nonsense": True},
+                ]
+            },
+        )
+    assert status == 200
+    assert body["batch_size"] == 2
+    good, bad = body["responses"]
+    assert good["name"] == "a" and good["kernel"]
+    assert "unknown request field(s) 'nonsense'" in bad["error"]
+
+
+# ----------------------------------------------------------------------
+# Flush triggers
+# ----------------------------------------------------------------------
+def test_batcher_flushes_on_full_window():
+    seen = []
+    flushes = []
+    batcher = DynamicBatcher(
+        lambda batch: seen.append(len(batch)) or list(batch),
+        max_batch_size=4,
+        max_wait_ms=5_000.0,  # the timer must never fire in this test
+        on_flush=lambda size, reason: flushes.append((size, reason)),
+    )
+    try:
+        threads = [
+            threading.Thread(target=batcher.submit, args=(object(),))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert seen == [4, 4]
+        assert flushes == [(4, "full"), (4, "full")]
+    finally:
+        batcher.close()
+
+
+def test_batcher_flushes_on_timer():
+    flushes = []
+    batcher = DynamicBatcher(
+        lambda batch: list(batch),
+        max_batch_size=64,  # the window can never fill
+        max_wait_ms=10.0,
+        on_flush=lambda size, reason: flushes.append((size, reason)),
+    )
+    try:
+        started = time.monotonic()
+        batcher.submit(object(), timeout=30)
+        waited_ms = (time.monotonic() - started) * 1000.0
+        assert flushes == [(1, "timer")]
+        assert waited_ms >= 9.0  # the window deadline was honoured
+    finally:
+        batcher.close()
+
+
+def test_batcher_drains_queued_work_on_close():
+    release = threading.Event()
+    flushes = []
+
+    def evaluate(batch):
+        release.wait(30)
+        return list(batch)
+
+    batcher = DynamicBatcher(
+        evaluate,
+        max_batch_size=1,
+        max_wait_ms=5_000.0,
+        on_flush=lambda size, reason: flushes.append(reason),
+    )
+    results = []
+    threads = [
+        threading.Thread(target=lambda: results.append(batcher.submit(object())))
+        for _ in range(3)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.05)  # let the first window open and block in evaluate
+    closer = threading.Thread(target=batcher.close)
+    closer.start()
+    release.set()
+    closer.join(timeout=30)
+    for thread in threads:
+        thread.join(timeout=30)
+    assert len(results) == 3  # every accepted request was served
+    with pytest.raises(RuntimeError, match="closed"):
+        batcher.submit(object())
+
+
+def test_batcher_delivers_evaluator_exceptions():
+    batcher = DynamicBatcher(
+        lambda batch: (_ for _ in ()).throw(ValueError("boom")),
+        max_batch_size=2,
+        max_wait_ms=1.0,
+    )
+    try:
+        with pytest.raises(ValueError, match="boom"):
+            batcher.submit(object(), timeout=30)
+    finally:
+        batcher.close()
+
+
+# ----------------------------------------------------------------------
+# Shutdown
+# ----------------------------------------------------------------------
+def test_shutdown_is_idempotent_and_summary_is_written(
+    model_path, tmp_path, tiny_sweep
+):
+    config = _config(
+        model_path, log_dir=str(tmp_path / "logs"), max_batch_size=2
+    )
+    service = ServingService(config)
+    service.start_background()
+    known = {name: 1.0 for name in tiny_sweep.models.known_feature_names}
+    known.update(rows=64, cols=64, nnz=512, iterations=1)
+    gathered = {name: 0.5 for name in tiny_sweep.models.gathered_feature_names}
+    _post(
+        service.url + "/v1/serve",
+        {"name": "w", "known": known, "gathered": gathered},
+    )
+    summary = service.shutdown()
+    assert service.shutdown() is None  # second caller: already drained
+    assert summary["metrics"]["requests_total"] == 1
+    assert summary["service"]["max_batch_size"] == 2
+    on_disk = json.loads((tmp_path / "logs" / "summary.json").read_text())
+    assert on_disk == summary
+    log_lines = (
+        (tmp_path / "logs" / "requests.log").read_text().strip().splitlines()
+    )
+    assert len(log_lines) == 1
+    record = json.loads(log_lines[0])
+    assert record["name"] == "w" and record["latency_ms"] >= 0.0
+
+
+def test_embedded_service_shutdown_without_accept_loop(model_path):
+    """Batcher-only (no HTTP traffic) services must still shut down cleanly."""
+    service = ServingService(_config(model_path, max_batch_size=1))
+    done = threading.Event()
+    threading.Thread(
+        target=lambda: (service.shutdown(), done.set()), daemon=True
+    ).start()
+    assert done.wait(10), "shutdown hung without a running accept loop"
+    with pytest.raises(RuntimeError, match="closed"):
+        service.serve_request(
+            ServeRequest(name="late", known={"rows": 1.0})
+        )
+
+
+# ----------------------------------------------------------------------
+# The subprocess contract: repro serve --daemon + SIGTERM drain
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+def test_daemon_subprocess_sigterm_drains_and_summarizes(
+    model_path, tmp_path, tiny_sweep
+):
+    log_dir = tmp_path / "logs"
+    config_path = tmp_path / "service.toml"
+    config_path.write_text(
+        "[service]\n"
+        f'model = "{model_path}"\n'
+        "port = 0\n"
+        "max_batch_size = 4\n"
+        "max_wait_ms = 10.0\n"
+        "execute = false\n"
+        f'log_dir = "{log_dir}"\n'
+    )
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        repo_src + os.pathsep + existing if existing else repo_src
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--daemon", "--config", str(config_path)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        startup = process.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", startup)
+        assert match, f"no address in startup line: {startup!r}"
+        url = f"http://{match.group(1)}:{match.group(2)}"
+
+        status, health = _get(url + "/healthz")
+        assert status == 200 and health["status"] == "ok"
+
+        known = {name: 1.0 for name in tiny_sweep.models.known_feature_names}
+        known.update(rows=64, cols=64, nnz=512, iterations=1)
+        gathered = {
+            name: 0.5 for name in tiny_sweep.models.gathered_feature_names
+        }
+        status, body = _post(
+            url + "/v1/serve",
+            {"name": "w", "known": known, "gathered": gathered},
+        )
+        assert status == 200 and body["kernel"]
+
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+    assert process.returncode == 0, stderr
+    summary = json.loads(stdout)  # the shutdown summary is the only stdout
+    assert summary["metrics"]["requests_total"] == 1
+    assert summary["service"]["default_model"] == "default"
+    on_disk = json.loads((log_dir / "summary.json").read_text())
+    assert on_disk["metrics"]["requests_total"] == 1
+    assert len((log_dir / "requests.log").read_text().strip().splitlines()) == 1

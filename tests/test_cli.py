@@ -341,3 +341,98 @@ def test_cli_experiments_run_accepts_model_dir(tmp_path, capsys):
     ) == 0
     registry_files = list((tmp_path / "models").rglob("model.json"))
     assert len(registry_files) == 1
+
+
+# ----------------------------------------------------------------------
+# The persistent daemon and its load generator
+# ----------------------------------------------------------------------
+def test_parser_accepts_daemon_flags():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--daemon", "--model", "m.json", "--host", "0.0.0.0",
+         "--port", "8091", "--max-batch-size", "32", "--max-wait-ms", "2.5",
+         "--log-dir", "logs"]
+    )
+    assert args.daemon and args.corpus is None
+    assert args.port == 8091 and args.max_batch_size == 32
+    assert args.max_wait_ms == 2.5 and args.log_dir == "logs"
+
+
+def test_cli_daemon_requires_a_model_origin():
+    with pytest.raises(SystemExit, match="daemon mode needs --model"):
+        main(["serve", "--daemon"])
+
+
+def test_cli_daemon_rejects_bad_config(tmp_path):
+    config = tmp_path / "service.toml"
+    config.write_text("[service]\nmodel = \"m.json\"\nwindow = 4\n")
+    with pytest.raises(SystemExit, match=r"unknown setting\(s\) 'window'"):
+        main(["serve", "--daemon", "--config", str(config)])
+
+
+def test_cli_one_shot_serve_requires_a_corpus(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    with pytest.raises(SystemExit, match="needs a corpus PATH"):
+        main(["serve", "--model", model_path])
+
+
+def test_cli_bench_serve_json_report(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    assert main(
+        ["bench", "serve", "--model", model_path, "--requests", "24",
+         "--clients", "4", "--max-batch-size", "8", "--max-wait-ms", "2",
+         "--json"]
+    ) == 0
+    import json
+
+    report = json.loads(capsys.readouterr().out)
+    assert report["transport"] == "inproc"
+    assert report["batched"]["requests"] == 24
+    assert report["batched"]["errors"] == 0
+    assert report["per_request"]["batch_occupancy_mean"] == 1.0
+    assert report["speedup"] > 0.0
+
+
+def test_cli_bench_serve_table(tmp_path, capsys):
+    model_path = _train_tiny(tmp_path, capsys)
+    assert main(
+        ["bench", "serve", "--model", model_path, "--requests", "8",
+         "--clients", "2", "--no-compare"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "transport: inproc" in output
+    assert "batched(window=8)" in output
+    assert "speedup" not in output  # --no-compare skips the baseline run
+
+
+def test_cli_predict_and_daemon_share_error_strings(tmp_path, capsys):
+    """Satellite contract: one formatter, byte-identical messages."""
+    from repro.serving.requests import IngestError, ServeRequest, feature_vector
+    from repro.serving.artifacts import load_artifact
+
+    model_path = _train_tiny(tmp_path, capsys)
+    models = load_artifact(model_path).models
+    batch = tmp_path / "batch.csv"
+    batch.write_text("rows,cols\n1,2\n")
+    with pytest.raises(SystemExit) as cli_error:
+        main(["predict", "--model", model_path, "--batch", str(batch)])
+    with pytest.raises(IngestError) as api_error:
+        feature_vector(
+            {"rows": "1", "cols": "2"},
+            models.known_feature_names,
+            str(batch),
+            2,
+            "known",
+        )
+    assert str(cli_error.value) == f"repro: error: {api_error.value}"
+    # The daemon rejects the same defect with the same formatter, relabelled
+    # to the request that carried it.
+    with pytest.raises(IngestError, match="missing known feature column 'nnz'"):
+        from repro.serving.requests import evaluate_requests
+
+        evaluate_requests(
+            models,
+            [ServeRequest(name="w", known={"rows": 1.0, "cols": 2.0})],
+            execute=False,
+        )
