@@ -1,0 +1,179 @@
+"""Plugin-conformance rules: the domain/experiment API contracts (DOM/API).
+
+The domain plugin API (:mod:`repro.domains`) hinges on declared feature
+schemas: ``FeatureField`` names are the single source of truth for CSV
+columns, cache payload keys and classifier input order.  A collector or
+row-parser that hard-codes a column name the schema does not declare
+works until the first real request touches it.  Similarly, the serving
+layer keeps one deprecated entry point alive for compatibility; new code
+must not grow calls to it.
+
+* ``DOM001`` — a string column reference (``row["..."]``/``row.get("...")``)
+  in a domain module that is not a declared ``FeatureField`` name;
+* ``API001`` — a call to the deprecated positional
+  ``SeerPredictor._decide(known, name, gather)`` shim.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleSource,
+    call_keywords,
+    register_rule,
+)
+
+#: Row keys that are part of the row protocol rather than the feature
+#: schema (the reserved iteration count and the gathered-cost sidecar).
+_PROTOCOL_KEYS = frozenset({"iterations", "collection_time_ms", "name", "family"})
+
+#: Variable names treated as feature-row mappings in domain modules.
+_ROW_NAMES = frozenset({"row", "payload", "features"})
+
+
+def _module_string_sequences(tree: ast.Module) -> Dict[str, Tuple[str, ...]]:
+    """Module-level ``NAME = ("a", "b", ...)`` constants of strings."""
+    constants: Dict[str, Tuple[str, ...]] = {}
+    for statement in tree.body:
+        if not isinstance(statement, ast.Assign) or len(statement.targets) != 1:
+            continue
+        target = statement.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = statement.value
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            continue
+        items = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                items.append(element.value)
+            else:
+                break
+        else:
+            if items:
+                constants[target.id] = tuple(items)
+    return constants
+
+
+def _declared_field_names(module: ModuleSource) -> Set[str]:
+    """Every ``FeatureField(name, ...)`` name declared in the module.
+
+    Literal names are read directly; ``FeatureField(name) for name in
+    NAMES``-style declarations resolve ``NAMES`` through the module-level
+    string-sequence constants.
+    """
+    constants = _module_string_sequences(module.tree)
+    declared: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        func_name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        if func_name != "FeatureField":
+            continue
+        name_arg: Optional[ast.expr] = None
+        if node.args:
+            name_arg = node.args[0]
+        else:
+            name_arg = call_keywords(node).get("name")
+        if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+            declared.add(name_arg.value)
+        elif isinstance(name_arg, ast.Name):
+            declared.update(_comprehension_names(module, node, name_arg.id, constants))
+    return declared
+
+
+def _comprehension_names(
+    module: ModuleSource,
+    call: ast.Call,
+    variable: str,
+    constants: Dict[str, Tuple[str, ...]],
+) -> Tuple[str, ...]:
+    """Resolve ``FeatureField(name) for name in NAMES`` declarations."""
+    for ancestor in module.ancestors(call):
+        if not isinstance(ancestor, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            continue
+        for generator in ancestor.generators:
+            target = generator.target
+            if isinstance(target, ast.Name) and target.id == variable:
+                source = generator.iter
+                if isinstance(source, ast.Name) and source.id in constants:
+                    return constants[source.id]
+    return ()
+
+
+@register_rule(
+    "DOM001",
+    "feature column reference not declared in the FeatureField schema",
+    scope=("domains/*.py",),
+)
+def undeclared_feature_column(module: ModuleSource) -> Iterator[Finding]:
+    """Flag row-column accesses that the declared schema does not cover.
+
+    In a module that declares ``FeatureField`` schemas, every literal
+    ``row["column"]`` / ``row.get("column")`` access must name a declared
+    feature (or a protocol key like ``iterations``).  A drifted name means
+    the collector/parser and the schema disagree about the domain's
+    columns — exactly the mismatch that breaks CSV round-trips and cache
+    payload decoding.
+    """
+    declared = _declared_field_names(module)
+    if not declared:
+        return
+    allowed = declared | _PROTOCOL_KEYS
+    for node in ast.walk(module.tree):
+        key: Optional[ast.expr] = None
+        base: Optional[ast.expr] = None
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            key = node.slice
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+        ):
+            base = node.func.value
+            key = node.args[0]
+        if base is None or not isinstance(base, ast.Name):
+            continue
+        if base.id not in _ROW_NAMES:
+            continue
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        if key.value not in allowed:
+            yield module.finding(
+                node,
+                f"column {key.value!r} is not a declared FeatureField of "
+                f"this domain (declared: {', '.join(sorted(declared))}); "
+                f"schema and collector/parser columns must agree",
+                symbol=key.value,
+            )
+
+
+@register_rule(
+    "API001",
+    "call to the deprecated positional _decide entry point",
+)
+def deprecated_decide_call(module: ModuleSource) -> Iterator[Finding]:
+    """Flag calls to ``SeerPredictor._decide``.
+
+    The positional ``_decide(known, name, gather)`` shim exists only so
+    pre-PR-6 callers keep working (it warns ``DeprecationWarning`` at
+    runtime); in-tree code must call :meth:`SeerPredictor.predict` or the
+    keyword ``decide()`` flow instead.
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "_decide":
+            yield module.finding(
+                node,
+                "the positional _decide(known, name, gather) entry point is "
+                "deprecated; route through SeerPredictor.predict()/decide()",
+                symbol="_decide",
+            )

@@ -1,0 +1,233 @@
+"""Determinism rules: the bit-identical-artifact invariants (DET0xx).
+
+Everything this repository promises — parallel==serial sweeps, golden
+CSV/JSON artifacts, content-addressed cache keys — assumes the code never
+lets incidental ordering or ambient entropy leak into an output.  These
+rules name the leak patterns:
+
+* ``DET001`` — filesystem iteration (``iterdir``/``glob``/``rglob``/
+  ``os.listdir``/``os.scandir``) whose order the OS chooses, not wrapped
+  in ``sorted(...)``;
+* ``DET002`` — iterating a ``set`` (literal, comprehension or ``set()``
+  call), whose order varies per process when hash randomization is on;
+* ``DET003`` — wall-clock/entropy calls (``time.time``, ``datetime.now``,
+  ``uuid``, unseeded RNG constructors) inside cache-keyed or
+  artifact-writing modules, where they would poison keys or golden bytes;
+* ``DET004`` — ``json.dump(s)`` without ``sort_keys=True``: dict insertion
+  order is program history, not content, and must never reach an artifact
+  or a digest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleSource,
+    call_keywords,
+    dotted_name,
+    is_wrapped_in,
+    register_rule,
+)
+
+#: Modules whose outputs participate in cache keys or on-disk artifacts —
+#: the scope of the wall-clock/entropy rule.  The daemon (serving/service)
+#: legitimately reads the clock for latency metrics and is excluded.
+ARTIFACT_MODULE_SCOPE = (
+    "bench/engine.py",
+    "bench/runner.py",
+    "serving/artifacts.py",
+    "serving/registry.py",
+    "serving/ingest.py",
+    "experiments/*.py",
+    "core/codegen.py",
+)
+
+_FS_ITER_METHODS = frozenset({"iterdir", "glob", "rglob"})
+_FS_ITER_FUNCTIONS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+
+
+@register_rule(
+    "DET001",
+    "filesystem iteration not wrapped in sorted()",
+)
+def unsorted_fs_iteration(module: ModuleSource) -> Iterator[Finding]:
+    """Flag ``iterdir``/``glob``-style calls whose order reaches the program.
+
+    The OS returns directory entries in arbitrary order; any artifact,
+    cache key or serve order derived from an unsorted listing differs
+    between hosts.  Wrapping the call in ``sorted(...)`` (directly or via
+    a comprehension argument) satisfies the rule.
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        is_fs_iter = name in _FS_ITER_FUNCTIONS or (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_ITER_METHODS
+        )
+        if not is_fs_iter:
+            continue
+        if is_wrapped_in(module, node, "sorted"):
+            continue
+        short = name.rsplit(".", 1)[-1]
+        yield module.finding(
+            node,
+            f"{short}() yields entries in filesystem order; wrap the "
+            f"iteration in sorted(...) so downstream artifacts and cache "
+            f"keys are host-independent",
+        )
+
+
+@register_rule(
+    "DET002",
+    "iteration over a set (hash-randomized order)",
+)
+def set_iteration(module: ModuleSource) -> Iterator[Finding]:
+    """Flag ``for``-loops and comprehensions that iterate a set expression.
+
+    Set iteration order depends on hash seeds and insertion history; a
+    loop over a set feeding rows, hashes or log lines is a latent golden-
+    test flake.  ``sorted({...})`` is the deterministic spelling.
+    """
+    for node in ast.walk(module.tree):
+        iterables = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iterables.extend(gen.iter for gen in node.generators)
+        for iterable in iterables:
+            if _is_set_expression(iterable) and not is_wrapped_in(
+                module, iterable, "sorted"
+            ):
+                yield module.finding(
+                    iterable,
+                    "iterating a set visits elements in hash order; wrap it "
+                    "in sorted(...) before the order can reach an artifact",
+                )
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+_ENTROPY_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+_RNG_CONSTRUCTORS = ("default_rng", "RandomState")
+
+#: numpy.random module attributes that are *not* the legacy global-state
+#: API (calling these is fine; everything else on np.random is flagged).
+_NUMPY_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence", "RandomState"})
+
+
+@register_rule(
+    "DET003",
+    "wall-clock/entropy call in a cache-keyed or artifact-writing module",
+    scope=ARTIFACT_MODULE_SCOPE,
+)
+def entropy_in_artifact_module(module: ModuleSource) -> Iterator[Finding]:
+    """Flag ambient-entropy calls where outputs must be pure functions.
+
+    Cache keys are digests of configuration and sources; artifacts are
+    golden-tested bytes.  A timestamp, UUID or unseeded RNG inside these
+    modules silently makes every run unique.  Timing *measurement* belongs
+    in the daemon/loadgen layers, which are outside this rule's scope.
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        if name in _ENTROPY_CALLS:
+            yield module.finding(
+                node,
+                f"{name}() injects wall-clock/entropy into a module whose "
+                f"outputs feed cache keys or committed artifacts",
+            )
+            continue
+        if name.startswith("random.") and not name.startswith("random.Random"):
+            yield module.finding(
+                node,
+                f"module-level {name}() uses the shared global RNG; pass an "
+                f"explicitly seeded generator instead",
+            )
+            continue
+        prefix, _, attr = name.rpartition(".")
+        if (
+            prefix.endswith("np.random") or prefix.endswith("numpy.random")
+        ) and attr not in _NUMPY_RANDOM_OK:
+            yield module.finding(
+                node,
+                f"{name}() draws from numpy's global RNG state; pass an "
+                f"explicitly seeded Generator instead",
+            )
+            continue
+        if (
+            name in _RNG_CONSTRUCTORS
+            or any(name.endswith("." + ctor) for ctor in _RNG_CONSTRUCTORS)
+        ) and not (node.args or node.keywords):
+            yield module.finding(
+                node,
+                f"{name}() without a seed draws OS entropy; artifact-"
+                f"producing code must seed its generators explicitly",
+            )
+
+
+@register_rule(
+    "DET004",
+    "json.dump(s) without sort_keys=True",
+)
+def json_dump_without_sort_keys(module: ModuleSource) -> Iterator[Finding]:
+    """Flag JSON serialization that preserves dict insertion order.
+
+    Every JSON byte stream in this repository is either a digest input
+    (cache keys), a committed artifact (manifests, model.json) or a wire/
+    log record that tests may compare byte-wise — all of which must be
+    canonical.  ``sort_keys=True`` is the one-argument fix; genuinely
+    order-relevant sites can carry an inline disable with a justification.
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if dotted_name(node.func) not in ("json.dump", "json.dumps"):
+            continue
+        sort_keys = call_keywords(node).get("sort_keys")
+        if sort_keys is None:
+            yield module.finding(
+                node,
+                "json serialization without sort_keys=True emits dict "
+                "insertion order; canonicalize so artifacts, digests and "
+                "logs are byte-stable",
+            )
+        elif isinstance(sort_keys, ast.Constant) and not sort_keys.value:
+            yield module.finding(
+                node,
+                "sort_keys is explicitly disabled; canonical JSON is the "
+                "repository-wide contract for artifacts and digests",
+            )

@@ -437,7 +437,7 @@ class SweepEngine:
     def _store_measurement(self, key: str, measurement: MatrixMeasurement, domain=None) -> None:
         if self.cache_dir is None:
             return
-        data = json.dumps(measurement_to_dict(measurement, domain)).encode()
+        data = json.dumps(measurement_to_dict(measurement, domain), sort_keys=True).encode()
         atomic_write_bytes(self._measurement_path(key), data)
 
     def _load_sweep(self, key: str):

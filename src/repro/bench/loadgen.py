@@ -116,7 +116,7 @@ class LoadReport:
 
 
 def _post_json(url: str, payload: dict, timeout: float = 60.0) -> dict:
-    data = json.dumps(payload).encode("utf-8")
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
     request = urllib.request.Request(
         url, data=data, headers={"Content-Type": "application/json"}
     )

@@ -387,6 +387,63 @@ def _cmd_bench_serve(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Static analysis: repro lint
+# ----------------------------------------------------------------------
+#: Default location of the committed grandfathered-findings baseline.
+DEFAULT_LINT_BASELINE = Path("analysis") / "baseline.json"
+
+
+def _cmd_lint(args) -> int:
+    """Run the AST-based invariant checker (``repro lint``)."""
+    from repro.analysis import (
+        AnalysisError,
+        Baseline,
+        all_rules,
+        lint_paths,
+        package_dir,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for spec in all_rules():
+            scope = ", ".join(spec.scope)
+            print(f"{spec.id:<8} {spec.summary} [scope: {scope}]")
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_LINT_BASELINE
+    try:
+        targets = args.paths or [package_dir()]
+        baseline = None
+        if not args.no_baseline and not args.write_baseline:
+            if args.baseline is not None and not baseline_path.is_file():
+                raise AnalysisError(f"{baseline_path}: no such baseline file")
+            if baseline_path.is_file():
+                baseline = Baseline.from_file(baseline_path)
+        report = lint_paths(
+            targets, select=args.select, ignore=args.ignore, baseline=baseline
+        )
+    except AnalysisError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+
+    if args.write_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            Baseline.from_findings(report.findings).dumps(), encoding="utf-8"
+        )
+        print(
+            f"wrote {baseline_path} grandfathering {len(report.findings)} "
+            f"finding(s)"
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.clean else 1
+
+
+# ----------------------------------------------------------------------
 # The experiment suite
 # ----------------------------------------------------------------------
 def _cmd_experiments_list(args) -> int:
@@ -617,6 +674,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the raw measurement document instead of the table",
     )
     bench_serve.set_defaults(func=_cmd_bench_serve)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST-based invariant checker (determinism, cache "
+        "safety, daemon concurrency, plugin conformance)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed repro "
+        "package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--select", action="append", default=[], metavar="RULE",
+        help="only run these rule IDs or prefixes (e.g. DET, CONC002); "
+        "may be repeated",
+    )
+    lint.add_argument(
+        "--ignore", action="append", default=[], metavar="RULE",
+        help="skip these rule IDs or prefixes; may be repeated",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="grandfathered-findings file "
+        f"(default: {DEFAULT_LINT_BASELINE} when present)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule with its scope and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     experiments = sub.add_parser(
         "experiments", help="list or run the registered experiment suite"

@@ -90,7 +90,7 @@ class Fig7Result:
     def amortization_flips(self) -> list:
         """Matrices whose best kernel gains preprocessing between 1 and 19 iters."""
         flips = []
-        for name in {case.name for case in self.cases}:
+        for name in sorted({case.name for case in self.cases}):
             single = self.case(name, 1)
             multi = self.case(name, 19)
             if (
@@ -98,7 +98,7 @@ class Fig7Result:
                 and multi.oracle_uses_preprocessing_kernel
             ):
                 flips.append(name)
-        return sorted(flips)
+        return flips
 
     def render(self) -> str:
         """Printable summary of every panel."""

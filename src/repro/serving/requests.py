@@ -34,7 +34,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -47,8 +57,13 @@ from repro.domains.base import (
 )
 from repro.gpu.device import MI100, DeviceSpec
 from repro.kernels.base import UnsupportedKernelError
-from repro.pipeline.sources import MatrixSourceError, resolve_source
+from repro.pipeline.sources import MatrixSource, MatrixSourceError, resolve_source
 from repro.sparse.coo import SparseFormatError
+
+if TYPE_CHECKING:  # typing-only imports; runtime imports would be cyclic
+    from repro.domains.base import ProblemDomain
+    from repro.pipeline import FeaturePipeline
+    from repro.serving.ingest import IngestCache
 
 #: Bumped whenever the request/response wire payloads change shape.
 REQUEST_FORMAT_VERSION = 1
@@ -67,7 +82,7 @@ class IngestError(RuntimeError):
 # ----------------------------------------------------------------------
 # Column validation — the one error formatter every entry point shares
 # ----------------------------------------------------------------------
-def parse_numeric_cell(value, column: str, origin, line: int) -> float:
+def parse_numeric_cell(value: object, column: str, origin: str, line: int) -> float:
     """One CSV/option/payload cell as a float, or a one-line error.
 
     ``origin``/``line`` name the offending location (`file:line` or
@@ -87,7 +102,13 @@ def parse_numeric_cell(value, column: str, origin, line: int) -> float:
         ) from None
 
 
-def feature_vector(row, names, origin, line: int, kind: str) -> list:
+def feature_vector(
+    row: Mapping[str, object],
+    names: Sequence[str],
+    origin: str,
+    line: int,
+    kind: str,
+) -> List[float]:
     """The named feature columns of one row as floats.
 
     This is the single missing-column/non-numeric error formatter: CSV
@@ -95,7 +116,7 @@ def feature_vector(row, names, origin, line: int, kind: str) -> list:
     daemon) and one-shot serving all produce byte-identical messages for
     the same failure.
     """
-    vector = []
+    vector: List[float] = []
     for name in names:
         if name not in row or row[name] is None:
             raise IngestError(
@@ -111,7 +132,12 @@ def feature_vector(row, names, origin, line: int, kind: str) -> list:
     return vector
 
 
-def feature_matrix(rows, names, origin, kind: str) -> list:
+def feature_matrix(
+    rows: Iterable[Mapping[str, object]],
+    names: Sequence[str],
+    origin: str,
+    kind: str,
+) -> List[List[float]]:
     """Extract the named feature columns of every row as floats.
 
     Rows are numbered from 2, matching the data lines of a headered CSV.
@@ -122,9 +148,9 @@ def feature_matrix(rows, names, origin, kind: str) -> list:
     ]
 
 
-def parse_workload_options(pairs) -> dict:
+def parse_workload_options(pairs: Optional[Iterable[object]]) -> Dict[str, float]:
     """``KEY=VALUE`` workload options as a dict of ints/floats."""
-    options = {}
+    options: Dict[str, float] = {}
     for index, pair in enumerate(pairs or (), start=1):
         key, eq, text = str(pair).partition("=")
         if not eq or not key:
@@ -162,13 +188,13 @@ class ServeRequest:
 
     name: Optional[str] = None
     source: Optional[str] = None
-    known: Optional[dict] = None
-    gathered: Optional[dict] = None
+    known: Optional[Dict[str, float]] = None
+    gathered: Optional[Dict[str, float]] = None
     iterations: int = 1
-    options: dict = field(default_factory=dict)
+    options: Dict[str, float] = field(default_factory=dict)
     model: Optional[str] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if (self.source is None) == (self.known is None):
             raise IngestError(
                 "a ServeRequest needs exactly one of 'source' (a matrix "
@@ -189,7 +215,9 @@ class ServeRequest:
         return self.known is not None
 
     @classmethod
-    def from_payload(cls, payload, origin: str = "request", line: int = 1) -> "ServeRequest":
+    def from_payload(
+        cls, payload: object, origin: str = "request", line: int = 1
+    ) -> "ServeRequest":
         """Parse and validate one JSON request payload.
 
         Unknown keys, malformed feature mappings and bad iteration counts
@@ -236,9 +264,9 @@ class ServeRequest:
         except IngestError as error:
             raise IngestError(f"{origin}:{line} {error}") from None
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> Dict[str, object]:
         """JSON-serializable form of the request (inverse of ``from_payload``)."""
-        payload = {}
+        payload: Dict[str, object] = {}
         if self.name is not None:
             payload["name"] = self.name
         if self.source is not None:
@@ -256,7 +284,11 @@ class ServeRequest:
         return payload
 
 
-def requests_from_sources(sources, iterations: int = 1, options=None) -> list:
+def requests_from_sources(
+    sources: Iterable[MatrixSource],
+    iterations: int = 1,
+    options: Optional[Mapping[str, float]] = None,
+) -> List[ServeRequest]:
     """One matrix-reference :class:`ServeRequest` per discovered source."""
     options = dict(options or {})
     return [
@@ -270,7 +302,12 @@ def requests_from_sources(sources, iterations: int = 1, options=None) -> list:
     ]
 
 
-def requests_from_rows(rows, models: SeerModels, origin, iterations: int = 1) -> list:
+def requests_from_rows(
+    rows: Iterable[Mapping[str, object]],
+    models: SeerModels,
+    origin: str,
+    iterations: int = 1,
+) -> List[ServeRequest]:
     """Inline-feature requests from headered-CSV row dicts.
 
     The known feature columns are required; the gathered columns ride along
@@ -279,7 +316,7 @@ def requests_from_rows(rows, models: SeerModels, origin, iterations: int = 1) ->
     messages match every other entry point exactly.
     """
     rows = list(rows)
-    requests = []
+    requests: List[ServeRequest] = []
     gathered_names = tuple(models.gathered_feature_names)
     with_gathered = bool(rows) and bool(gathered_names) and all(
         name in rows[0] for name in gathered_names
@@ -319,8 +356,8 @@ class ServeResponse:
     name: str
     selector_choice: str
     kernel: str
-    known: object
-    gathered: object
+    known: KnownFeatureRow
+    gathered: GatheredFeatureRow
     collection_time_ms: float
     inference_time_ms: float
     source: str = ""
@@ -347,9 +384,9 @@ class ServeResponse:
             self.collection_time_ms + self.inference_time_ms + self.kernel_total_ms
         )
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> Dict[str, object]:
         """JSON-serializable form of the response (the daemon wire shape)."""
-        payload = {
+        payload: Dict[str, object] = {
             "name": self.name,
             "selector_choice": self.selector_choice,
             "kernel": self.kernel,
@@ -380,7 +417,7 @@ class ServeFailure:
     name: str
     error: str
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> Dict[str, str]:
         return {"name": self.name, "error": self.error}
 
 
@@ -396,7 +433,7 @@ class EvaluationStats:
     gathered_routed: int = 0
     failures: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, int]:
         return {
             "requests": self.requests,
             "inline_requests": self.inline_requests,
@@ -417,14 +454,22 @@ class _Prepared:
 
     request: ServeRequest
     name: str
-    known: object
+    known: KnownFeatureRow
     source: str = ""
     kind: str = "inline"
-    workload: object = None
-    gathered_inline: object = None
+    workload: Optional[object] = None
+    gathered_inline: Optional[GatheredFeatureRow] = None
 
 
-def _prepare_request(request: ServeRequest, index, models, domain, pipeline, cache, stats):
+def _prepare_request(
+    request: ServeRequest,
+    index: int,
+    models: SeerModels,
+    domain: "Optional[ProblemDomain]",
+    pipeline: "Optional[FeaturePipeline]",
+    cache: "Optional[IngestCache]",
+    stats: EvaluationStats,
+) -> _Prepared:
     """Resolve one request to features; raises :class:`IngestError` on bad input."""
     from repro.serving.ingest import ingest_matrix
 
@@ -491,7 +536,9 @@ def _prepare_request(request: ServeRequest, index, models, domain, pipeline, cac
     )
 
 
-def _empty_gathered(models: SeerModels, domain):
+def _empty_gathered(
+    models: SeerModels, domain: "Optional[ProblemDomain]"
+) -> GatheredFeatureRow:
     """The all-zero gathered placeholder in the model's schema."""
     if domain is not None:
         return domain.empty_gathered()
@@ -503,14 +550,14 @@ def _empty_gathered(models: SeerModels, domain):
 
 def evaluate_requests(
     models: SeerModels,
-    requests,
-    domain=None,
+    requests: Iterable[ServeRequest],
+    domain: "Union[str, ProblemDomain, None]" = None,
     device: DeviceSpec = MI100,
-    pipeline=None,
-    cache=None,
+    pipeline: "Optional[FeaturePipeline]" = None,
+    cache: "Optional[IngestCache]" = None,
     execute: bool = True,
     strict: bool = True,
-):
+) -> Tuple[List[Union[ServeResponse, ServeFailure, None]], EvaluationStats]:
     """Serve a batch of :class:`ServeRequest`\\ s in one vectorized pass.
 
     This is the single serving core: the daemon's admission batches, the
@@ -539,9 +586,9 @@ def evaluate_requests(
     if pipeline is None and domain is not None:
         pipeline = domain.make_pipeline(device)
 
-    results = [None] * len(requests)
-    prepared = []
-    prepared_slots = []
+    results: List[Union[ServeResponse, ServeFailure, None]] = [None] * len(requests)
+    prepared: List[_Prepared] = []
+    prepared_slots: List[Optional[int]] = []
     for index, request in enumerate(requests):
         try:
             item = _prepare_request(
@@ -569,7 +616,7 @@ def evaluate_requests(
     # Collect (or accept inline) gathered features only for the rows the
     # selector actually routes through the paid path — exactly the Fig. 3
     # flow — then run the gathered classifier over that subset in one pass.
-    routed = []
+    routed: List[Tuple[int, GatheredFeatureRow]] = []
     for position, item in enumerate(prepared):
         if first_pass.selector_choices[position] != USE_GATHERED:
             continue
@@ -594,7 +641,7 @@ def evaluate_requests(
             continue
         routed.append((position, gathered))
 
-    gathered_kernels = {}
+    gathered_kernels: Dict[int, Tuple[str, GatheredFeatureRow]] = {}
     if routed:
         routed_known = known_matrix[[position for position, _ in routed]]
         routed_gathered = np.stack(
@@ -652,6 +699,6 @@ def evaluate_requests(
     return results, stats
 
 
-def replace_request(request: ServeRequest, **changes) -> ServeRequest:
+def replace_request(request: ServeRequest, **changes: object) -> ServeRequest:
     """A copy of ``request`` with fields replaced (dataclass ``replace``)."""
     return replace(request, **changes)

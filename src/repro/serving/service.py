@@ -557,7 +557,7 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -793,7 +793,7 @@ class ServingService:
             }
         record["latency_ms"] = round(latency_ms, 3)
         with self._log_lock:
-            self._log_handle.write(json.dumps(record) + "\n")
+            self._log_handle.write(json.dumps(record, sort_keys=True) + "\n")
             self._log_handle.flush()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,239 @@
+"""Engine-level tests for ``repro.analysis``: selection, suppression, baseline.
+
+Rule-specific behaviour lives in ``test_lint_rules.py``; this file covers the
+machinery every rule rides on, plus a hypothesis fuzzer asserting the engine
+never crashes on arbitrary (grammar-generated) valid Python.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    AnalysisError,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    lint_paths,
+    lint_source,
+    rule_ids,
+    select_rules,
+)
+from repro.analysis.engine import BASELINE_FORMAT_VERSION, register_rule
+
+UNSORTED_JSON = "import json\n\ndef f(obj):\n    return json.dumps(obj)\n"
+
+
+def found_rules(text: str, module: str = "snippet.py") -> set:
+    return {finding.rule for finding in lint_source(text, module=module)}
+
+
+# ----------------------------------------------------------------------
+# Rule selection
+# ----------------------------------------------------------------------
+def test_rule_ids_are_stable_and_sorted():
+    ids = rule_ids()
+    assert len(ids) >= 8
+    assert list(ids) == sorted(ids)
+    assert {"DET001", "DET002", "DET003", "DET004", "CONC001", "CONC002",
+            "CONC003", "DOM001", "API001"} <= set(ids)
+
+
+def test_select_by_exact_id_and_prefix():
+    assert {spec.id for spec in select_rules(select=["DET004"])} == {"DET004"}
+    det = {spec.id for spec in select_rules(select=["DET"])}
+    assert det == {"DET001", "DET002", "DET003", "DET004"}
+
+
+def test_ignore_removes_rules():
+    remaining = {spec.id for spec in select_rules(ignore=["CONC", "DOM001"])}
+    assert "CONC001" not in remaining
+    assert "DOM001" not in remaining
+    assert "DET001" in remaining
+
+
+def test_unknown_select_raises_instead_of_passing_silently():
+    with pytest.raises(AnalysisError, match="matches no registered rule"):
+        select_rules(select=["NOPE999"])
+    with pytest.raises(AnalysisError, match="--ignore"):
+        select_rules(ignore=["XX001"])
+
+
+def test_register_rule_rejects_malformed_and_duplicate_ids():
+    with pytest.raises(AnalysisError, match="must look like"):
+        register_rule("det-1", "bad id")
+    with pytest.raises(AnalysisError, match="already registered"):
+        @register_rule("DET001", "duplicate")
+        def _dup(module):  # pragma: no cover - never invoked
+            return iter(())
+
+
+# ----------------------------------------------------------------------
+# Findings and suppression
+# ----------------------------------------------------------------------
+def test_findings_carry_location_and_rule():
+    findings = lint_source(UNSORTED_JSON, module="pkg/mod.py")
+    assert [f.rule for f in findings] == ["DET004"]
+    finding = findings[0]
+    assert finding.module == "pkg/mod.py"
+    assert finding.line == 4
+    assert finding.location == f"pkg/mod.py:{finding.line}:{finding.col}"
+    assert "DET004" in finding.render()
+
+
+def test_inline_suppression_silences_matching_rule():
+    text = UNSORTED_JSON.replace(
+        "json.dumps(obj)", "json.dumps(obj)  # repro-lint: disable=DET004"
+    )
+    assert found_rules(text) == set()
+
+
+def test_inline_suppression_disable_all():
+    text = UNSORTED_JSON.replace(
+        "json.dumps(obj)", "json.dumps(obj)  # repro-lint: disable=all"
+    )
+    assert found_rules(text) == set()
+
+
+def test_suppression_for_other_rule_does_not_apply():
+    text = UNSORTED_JSON.replace(
+        "json.dumps(obj)", "json.dumps(obj)  # repro-lint: disable=DET001"
+    )
+    assert found_rules(text) == {"DET004"}
+
+
+def test_suppression_is_per_line():
+    text = (
+        "import json\n"
+        "a = json.dumps({})  # repro-lint: disable=DET004\n"
+        "b = json.dumps({})\n"
+    )
+    findings = lint_source(text)
+    assert [(f.rule, f.line) for f in findings] == [("DET004", 3)]
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_and_matching():
+    findings = lint_source(UNSORTED_JSON, module="bench/x.py")
+    baseline = Baseline.from_findings(findings)
+    payload = json.loads(baseline.dumps())
+    assert payload["version"] == BASELINE_FORMAT_VERSION
+    reloaded = Baseline.from_payload(payload)
+    assert all(reloaded.matches(f) for f in findings)
+    other = Finding(
+        rule="DET001", path="x", module="bench/x.py", line=1, col=1, message="m"
+    )
+    assert not reloaded.matches(other)
+
+
+def test_baseline_module_globs_and_symbols():
+    entry = BaselineEntry(rule="CONC001", module="serving/*.py", symbol="Hub.cache")
+    hit = Finding(
+        rule="CONC001", path="p", module="serving/service.py",
+        line=3, col=1, message="m", symbol="Hub.cache",
+    )
+    assert entry.matches(hit)
+    assert not entry.matches(
+        Finding(rule="CONC001", path="p", module="serving/service.py",
+                line=3, col=1, message="m", symbol="Hub.other")
+    )
+    assert not entry.matches(
+        Finding(rule="CONC001", path="p", module="core/service.py",
+                line=3, col=1, message="m", symbol="Hub.cache")
+    )
+
+
+def test_baseline_rejects_wrong_version_and_shape():
+    with pytest.raises(AnalysisError, match="unsupported baseline version"):
+        Baseline.from_payload({"version": 99, "findings": []})
+    with pytest.raises(AnalysisError, match="JSON object"):
+        Baseline.from_payload([1, 2])
+    with pytest.raises(AnalysisError, match="needs 'rule' and 'module'"):
+        Baseline.from_payload(
+            {"version": BASELINE_FORMAT_VERSION, "findings": [{"rule": "X"}]}
+        )
+
+
+def test_lint_paths_applies_baseline(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(UNSORTED_JSON, encoding="utf-8")
+    dirty = lint_paths([bad])
+    assert [f.rule for f in dirty.findings] == ["DET004"]
+    baseline = Baseline.from_findings(dirty.findings)
+    clean = lint_paths([bad], baseline=baseline)
+    assert clean.clean
+    assert [f.rule for f in clean.baselined] == ["DET004"]
+    assert clean.files_scanned == 1
+
+
+def test_lint_paths_rejects_missing_target(tmp_path):
+    with pytest.raises(AnalysisError, match="no such file"):
+        lint_paths([tmp_path / "nope.py"])
+
+
+# ----------------------------------------------------------------------
+# Fuzz: the engine must never crash on valid Python
+# ----------------------------------------------------------------------
+_NAMES = st.sampled_from(["x", "data", "rows", "self", "payload", "items"])
+_EXPRS = st.sampled_from(
+    [
+        "{0}",
+        "{0}.read_text()",
+        "json.dumps({0})",
+        "sorted({0})",
+        "set({0})",
+        "{{1, 2, 3}}",
+        "os.listdir({0})",
+        "time.time()",
+        "{0}.get('name')",
+        "{0}['family']",
+        "self._cond.wait()",
+        "self._decide({0})",
+        "[v for v in {{'a', 'b'}}]",
+    ]
+)
+
+
+@st.composite
+def _statements(draw):
+    name = draw(_NAMES)
+    expr = draw(_EXPRS).format(name)
+    shape = draw(
+        st.sampled_from(
+            [
+                "{expr}",
+                "{name} = {expr}",
+                "for item in {expr}:\n        pass",
+                "with self._lock:\n        {name} = {expr}",
+                "while not {name}:\n        {expr}",
+                "if {name}:\n        return {expr}",
+            ]
+        )
+    )
+    return shape.format(name=name, expr=expr)
+
+
+@st.composite
+def _modules(draw):
+    body = draw(st.lists(_statements(), min_size=1, max_size=6))
+    lines = ["import json, os, time", "", "def fn(self, x, data, rows, payload, items):"]
+    lines.extend("    " + stmt for stmt in body)
+    lines.append("    return x")
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=_modules(), module=st.sampled_from(
+    ["snippet.py", "bench/engine.py", "domains/spmv.py", "serving/service.py"]
+))
+def test_lint_source_never_crashes_on_valid_python(text, module):
+    compile(text, "<fuzz>", "exec")  # the grammar must emit valid Python
+    for finding in lint_source(text, module=module):
+        assert finding.rule
+        assert finding.line >= 1

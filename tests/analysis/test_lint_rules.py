@@ -1,0 +1,348 @@
+"""Per-rule positive/negative tests for the invariant checker.
+
+Each rule gets at least one snippet that must fire and one nearby variant
+that must stay silent — the negatives encode the idioms the real codebase
+uses (sorted() wrapping, lock-guarded mutation, predicate loops) so the
+rules cannot regress into false positives on the tree they guard.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def rules_at(text: str, module: str = "snippet.py") -> list:
+    return [(f.rule, f.line) for f in lint_source(textwrap.dedent(text), module=module)]
+
+
+def fired(text: str, module: str = "snippet.py") -> set:
+    return {rule for rule, _ in rules_at(text, module=module)}
+
+
+# ----------------------------------------------------------------------
+# DET001 — unsorted filesystem iteration
+# ----------------------------------------------------------------------
+def test_det001_flags_bare_iterdir_and_listdir():
+    assert "DET001" in fired(
+        """
+        import os
+        def walk(path):
+            for entry in path.iterdir():
+                print(entry)
+            return os.listdir(path)
+        """
+    )
+
+
+def test_det001_accepts_sorted_wrapping_even_through_a_genexp():
+    assert "DET001" not in fired(
+        """
+        def walk(path):
+            direct = sorted(path.iterdir())
+            filtered = sorted(p for p in path.glob("*.mtx") if p.is_file())
+            return direct, filtered
+        """
+    )
+
+
+# ----------------------------------------------------------------------
+# DET002 — set iteration order leakage
+# ----------------------------------------------------------------------
+def test_det002_flags_loops_and_comprehensions_over_sets():
+    findings = rules_at(
+        """
+        def names(cases):
+            for name in {case.name for case in cases}:
+                print(name)
+            return [k for k in set(cases)]
+        """
+    )
+    assert [rule for rule, _ in findings] == ["DET002", "DET002"]
+
+
+def test_det002_accepts_sorted_sets_and_plain_sequences():
+    assert "DET002" not in fired(
+        """
+        def names(cases):
+            for name in sorted({case.name for case in cases}):
+                print(name)
+            membership = {c.name for c in cases}
+            return [c for c in cases if c.name in membership]
+        """
+    )
+
+
+# ----------------------------------------------------------------------
+# DET003 — ambient entropy in cache-keyed/artifact modules
+# ----------------------------------------------------------------------
+def test_det003_flags_wall_clock_and_global_rng_in_scoped_modules():
+    text = """
+    import time, uuid, random
+    import numpy as np
+    def stamp():
+        return time.time(), uuid.uuid4(), random.random(), np.random.rand(3)
+    """
+    assert fired(text, module="bench/engine.py") == {"DET003"}
+    # ...but the same code is fine outside the artifact/cache scope.
+    assert fired(text, module="kernels/base.py") == set()
+
+
+def test_det003_accepts_seeded_generators():
+    assert "DET003" not in fired(
+        """
+        import numpy as np
+        def seeded(seed):
+            rng = np.random.default_rng(seed)
+            legacy = np.random.RandomState(seed)
+            return rng, legacy
+        """,
+        module="bench/engine.py",
+    )
+
+
+def test_det003_flags_unseeded_generator_construction():
+    assert "DET003" in fired(
+        """
+        import numpy as np
+        def unseeded():
+            return np.random.default_rng()
+        """,
+        module="experiments/fig1.py",
+    )
+
+
+# ----------------------------------------------------------------------
+# DET004 — non-canonical JSON serialization
+# ----------------------------------------------------------------------
+def test_det004_flags_missing_and_false_sort_keys():
+    findings = rules_at(
+        """
+        import json
+        def save(obj, fh):
+            json.dump(obj, fh)
+            return json.dumps(obj, sort_keys=False)
+        """
+    )
+    assert [rule for rule, _ in findings] == ["DET004", "DET004"]
+
+
+def test_det004_accepts_canonical_serialization():
+    assert "DET004" not in fired(
+        """
+        import json
+        def save(obj, fh):
+            json.dump(obj, fh, sort_keys=True)
+            return json.dumps(obj, indent=2, sort_keys=True)
+        """
+    )
+
+
+# ----------------------------------------------------------------------
+# CONC001 — inconsistent lock discipline on shared attributes
+# ----------------------------------------------------------------------
+#: A DynamicBatcher-shaped class with one mutation outside the lock.
+UNLOCKED_BATCHER = """
+import threading
+
+class DynamicBatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = []
+        self._batches = 0
+
+    def submit(self, request):
+        with self._lock:
+            self._queue.append(request)
+            self._batches += 1
+
+    def drain(self):
+        flushed = list(self._queue)
+        self._queue.clear()
+        return flushed
+"""
+
+
+def test_conc001_flags_mutation_outside_the_lock():
+    findings = lint_source(UNLOCKED_BATCHER)
+    assert {(f.rule, f.symbol) for f in findings} == {
+        ("CONC001", "DynamicBatcher._queue")
+    }
+    # the finding points at the unlocked site, not the guarded one
+    assert all("drain" not in f.message or f.line > 14 for f in findings)
+
+
+def test_conc001_accepts_consistent_locking_and_init_setup():
+    assert "CONC001" not in fired(
+        """
+        import threading
+
+        class DynamicBatcher:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._queue = []
+
+            def submit(self, request):
+                with self._lock:
+                    self._queue.append(request)
+
+            def drain(self):
+                with self._lock:
+                    flushed = list(self._queue)
+                    self._queue.clear()
+                return flushed
+        """
+    )
+
+
+def test_conc001_ignores_attributes_only_touched_unlocked():
+    assert "CONC001" not in fired(
+        """
+        class Counter:
+            def __init__(self):
+                self.total = 0
+
+            def bump(self):
+                self.total += 1
+        """
+    )
+
+
+# ----------------------------------------------------------------------
+# CONC002 — blocking calls under a lock
+# ----------------------------------------------------------------------
+def test_conc002_flags_io_and_sleep_under_lock():
+    findings = rules_at(
+        """
+        import time
+
+        class Hub:
+            def load(self, path):
+                with self._lock:
+                    text = path.read_text()
+                    time.sleep(0.1)
+                return text
+        """
+    )
+    assert [rule for rule, _ in findings] == ["CONC002", "CONC002"]
+
+
+def test_conc002_accepts_io_outside_and_log_writes_inside():
+    assert "CONC002" not in fired(
+        """
+        class Hub:
+            def load(self, path):
+                text = path.read_text()
+                with self._lock:
+                    self._cache = text
+                    self._log.write(text)
+                    self._log.flush()
+                return text
+        """
+    )
+
+
+def test_conc002_scope_ends_at_nested_function_boundaries():
+    assert "CONC002" not in fired(
+        """
+        class Hub:
+            def loader(self, path):
+                with self._lock:
+                    def later():
+                        return path.read_text()
+                return later
+        """
+    )
+
+
+# ----------------------------------------------------------------------
+# CONC003 — Condition.wait outside a predicate loop
+# ----------------------------------------------------------------------
+def test_conc003_flags_bare_and_while_true_waits():
+    findings = rules_at(
+        """
+        class Batcher:
+            def take(self):
+                with self._cond:
+                    self._cond.wait()
+                    while True:
+                        self._cond.wait(0.1)
+        """
+    )
+    assert [rule for rule, _ in findings] == ["CONC003", "CONC003"]
+
+
+def test_conc003_accepts_predicate_loops_and_event_waits():
+    assert "CONC003" not in fired(
+        """
+        class Batcher:
+            def take(self):
+                with self._cond:
+                    while not self._queue:
+                        self._cond.wait()
+                self._stopped_event.wait()
+        """
+    )
+
+
+# ----------------------------------------------------------------------
+# DOM001 — feature references outside the declared schema
+# ----------------------------------------------------------------------
+DOMAIN_MODULE = """
+from repro.domains.base import FeatureField
+
+KNOWN = ("rows", "cols")
+
+FIELDS = [FeatureField(name) for name in KNOWN] + [FeatureField("nnz")]
+
+def featurize(row):
+    return row["rows"], row.get("nnz"), row["density"]
+"""
+
+
+def test_dom001_flags_undeclared_columns_only_in_domain_modules():
+    findings = lint_source(DOMAIN_MODULE, module="domains/spmv.py")
+    assert [(f.rule, f.symbol) for f in findings] == [("DOM001", "density")]
+    assert lint_source(DOMAIN_MODULE, module="core/spmv.py") == []
+
+
+def test_dom001_allows_protocol_keys_and_undeclared_modules():
+    assert "DOM001" not in fired(
+        """
+        from repro.domains.base import FeatureField
+        FIELDS = [FeatureField("rows")]
+        def featurize(row):
+            return row["rows"], row.get("iterations"), row.get("name")
+        """,
+        module="domains/spmm.py",
+    )
+    # no FeatureField declarations at all -> nothing to check against
+    assert "DOM001" not in fired(
+        """
+        def featurize(row):
+            return row["anything"]
+        """,
+        module="domains/raw.py",
+    )
+
+
+# ----------------------------------------------------------------------
+# API001 — deprecated positional _decide entry point
+# ----------------------------------------------------------------------
+def test_api001_flags_calls_to_the_deprecated_shim():
+    assert "API001" in fired(
+        """
+        def choose(predictor, matrix):
+            return predictor._decide(matrix, 1)
+        """
+    )
+
+
+def test_api001_ignores_the_replacement_api():
+    assert "API001" not in fired(
+        """
+        def choose(predictor, matrix):
+            return predictor.predict(matrix, iterations=1)
+        """
+    )

@@ -169,14 +169,14 @@ def test_cached_sweep_artifact_has_readable_metadata(tmp_path):
 # Config hashing
 # ----------------------------------------------------------------------
 def test_sweep_config_key_is_stable_and_sensitive():
-    base = dict(
-        profile="tiny",
-        seed=7,
-        split_seed=13,
-        iteration_counts=DEFAULT_ITERATION_COUNTS,
-        device=MI100,
-        kernel_labels=KERNELS,
-    )
+    base = {
+        "profile": "tiny",
+        "seed": 7,
+        "split_seed": 13,
+        "iteration_counts": DEFAULT_ITERATION_COUNTS,
+        "device": MI100,
+        "kernel_labels": KERNELS,
+    }
     key = sweep_config_key(**base)
     assert key == sweep_config_key(**base)
     assert key == sweep_config_key(**base, config=TrainingConfig())
@@ -358,14 +358,14 @@ def test_measurement_keys_differ_across_domains():
 
 
 def test_sweep_config_key_differs_across_domains():
-    base = dict(
-        profile="tiny",
-        seed=7,
-        split_seed=13,
-        iteration_counts=DEFAULT_ITERATION_COUNTS,
-        device=MI100,
-        kernel_labels=KERNELS,
-    )
+    base = {
+        "profile": "tiny",
+        "seed": 7,
+        "split_seed": 13,
+        "iteration_counts": DEFAULT_ITERATION_COUNTS,
+        "device": MI100,
+        "kernel_labels": KERNELS,
+    }
     assert sweep_config_key(**base, domain="spmv") != sweep_config_key(**base, domain="spmm")
 
 

@@ -52,7 +52,7 @@ def test_table1_capabilities_are_implemented():
 def test_table3_correlations(small_sweep):
     result = run_table3(sweep=small_sweep)
     assert set(result.correlations) == set(small_sweep.kernel_names)
-    for kernel, row in result.correlations.items():
+    for row in result.correlations.values():
         for feature in TABLE3_FEATURES:
             value = row[feature]
             assert math.isnan(value) or 0.0 <= value <= 1.0

@@ -54,7 +54,7 @@ def corpus(tmp_path):
 
 
 def _config(model_path, **overrides):
-    settings = dict(model=model_path, port=0, execute=False)
+    settings = {"model": model_path, "port": 0, "execute": False}
     settings.update(overrides)
     return ServiceConfig(**settings)
 

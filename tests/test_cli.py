@@ -436,3 +436,59 @@ def test_cli_predict_and_daemon_share_error_strings(tmp_path, capsys):
             [ServeRequest(name="w", known={"rows": 1.0, "cols": 2.0})],
             execute=False,
         )
+
+
+def test_cli_lint_clean_tree(capsys):
+    assert main(["lint"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_lint_reports_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import json\nx = json.dumps({})\n", encoding="utf-8")
+    assert main(["lint", "--no-baseline", str(bad)]) == 1
+    output = capsys.readouterr().out
+    assert "DET004" in output
+    assert f"{bad}:2:" in output
+
+
+def test_cli_lint_json_format_and_select(tmp_path, capsys):
+    import json as json_module
+
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import json, os\nx = json.dumps({})\ny = os.listdir('.')\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", "--format", "json", "--select", "DET004", str(bad)]) == 1
+    payload = json_module.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload["findings"]] == ["DET004"]
+    assert payload["rules"] == ["DET004"]
+
+
+def test_cli_lint_baseline_roundtrip(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import json\nx = json.dumps({})\n", encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    assert main(
+        ["lint", "--baseline", str(baseline), "--write-baseline", str(bad)]
+    ) == 0
+    assert main(["lint", "--baseline", str(baseline), str(bad)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    assert main(
+        ["lint", "--baseline", str(baseline), "--no-baseline", str(bad)]
+    ) == 1
+
+
+def test_cli_lint_rejects_unknown_rule_and_missing_baseline(tmp_path):
+    with pytest.raises(SystemExit, match="matches no registered rule"):
+        main(["lint", "--select", "NOPE"])
+    with pytest.raises(SystemExit, match="no such baseline file"):
+        main(["lint", "--baseline", str(tmp_path / "missing.json")])
+
+
+def test_cli_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    output = capsys.readouterr().out
+    for rule in ("DET001", "DET004", "CONC001", "CONC003", "DOM001", "API001"):
+        assert rule in output
