@@ -1,0 +1,90 @@
+"""Benchmarks of the sweep hot path: batched vs. scalar measurement.
+
+The measurement loop — per-kernel cycle models, launch simulation and
+feature extraction over every matrix of the collection — dominates sweep
+time.  These benchmarks pin the batched path's cost, its speedup over the
+retired per-kernel scalar loop (the two are bit-identical, so the speedup is
+free accuracy-wise), and the cost of emitting the standalone selectors.
+"""
+
+import time
+
+from benchmarks.conftest import bench_profile, record
+from repro.core.benchmarking import measure_matrix
+from repro.core.codegen import models_to_cpp_header, models_to_python_module
+from repro.domains import get_domain
+from repro.sparse.collection import build_collection
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def measure_setup():
+    """The collection plus the kernel/pipeline set the sweep measures with."""
+    domain = get_domain("spmv")
+    collection = build_collection(profile=bench_profile())
+    kernels = domain.default_kernels()
+    pipeline = domain.make_pipeline()
+    return domain, collection, kernels, pipeline
+
+
+def _measure_all(domain, collection, kernels, pipeline, vectorized):
+    for entry in collection:
+        measure_matrix(
+            entry.name,
+            entry.matrix,
+            kernels,
+            pipeline,
+            domain=domain,
+            vectorized=vectorized,
+        )
+
+
+def test_bench_measure_loop_vectorized(benchmark, measure_setup):
+    """Batched feature+timing loop over the whole collection profile.
+
+    ``extra_info.speedup_vs_scalar`` pins the batched path's advantage over
+    the scalar reference loop measured in the same process.
+    """
+    domain, collection, kernels, pipeline = measure_setup
+    benchmark(_measure_all, domain, collection, kernels, pipeline, True)
+
+    def best_of(vectorized, reps=5):
+        times = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            _measure_all(domain, collection, kernels, pipeline, vectorized)
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    scalar_s, vectorized_s = best_of(False), best_of(True)
+    record(
+        benchmark,
+        matrices=len(list(collection)),
+        profile=bench_profile(),
+        scalar_loop_s=scalar_s,
+        vectorized_loop_s=vectorized_s,
+        speedup_vs_scalar=scalar_s / vectorized_s,
+    )
+
+
+def test_bench_measure_loop_scalar(benchmark, measure_setup):
+    """The retired per-kernel scalar loop (kept behind SEER_SCALAR_TIMING)."""
+    domain, collection, kernels, pipeline = measure_setup
+    benchmark(_measure_all, domain, collection, kernels, pipeline, False)
+    record(benchmark, profile=bench_profile())
+
+
+def test_bench_codegen_emit(benchmark, paper_sweep):
+    """Emitting both standalone selectors from the trained models."""
+    models = paper_sweep.models
+
+    def emit():
+        return models_to_python_module(models), models_to_cpp_header(models)
+
+    module_source, header_source = benchmark(emit)
+    record(
+        benchmark,
+        python_bytes=len(module_source),
+        cpp_bytes=len(header_source),
+    )

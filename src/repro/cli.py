@@ -237,6 +237,32 @@ def _cmd_predict(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Selector code generation: repro codegen
+# ----------------------------------------------------------------------
+def _cmd_codegen(args) -> int:
+    """Emit a standalone selector from a registered model artifact."""
+    from repro.core.codegen import models_to_cpp_header, models_to_python_module
+    from repro.serving.artifacts import ModelArtifactError, load_artifact
+
+    try:
+        artifact = load_artifact(args.model)
+    except ModelArtifactError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    if args.language == "cpp":
+        rendered = models_to_cpp_header(artifact.models)
+    else:
+        rendered = models_to_python_module(artifact.models)
+    if args.output is None:
+        sys.stdout.write(rendered)
+        return 0
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(rendered, encoding="utf-8")
+    print(f"wrote {args.language} selector: {output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Raw-matrix serving: repro serve
 # ----------------------------------------------------------------------
 def _cmd_serve_daemon(args) -> int:
@@ -563,6 +589,25 @@ def build_parser() -> argparse.ArgumentParser:
         "columns optional); predictions are written to stdout",
     )
     predict.set_defaults(func=_cmd_predict)
+
+    codegen = sub.add_parser(
+        "codegen",
+        help="emit a standalone selector (Python module or C++ header) from "
+        "a registered model artifact",
+    )
+    codegen.add_argument(
+        "--model", required=True, metavar="PATH",
+        help="path to a model.json (or the directory containing it)",
+    )
+    codegen.add_argument(
+        "--language", choices=("py", "cpp"), default="py",
+        help="output language (default: py)",
+    )
+    codegen.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="file to write; omitted, the generated code goes to stdout",
+    )
+    codegen.set_defaults(func=_cmd_codegen)
 
     serve = sub.add_parser(
         "serve",

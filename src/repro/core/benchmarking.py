@@ -14,6 +14,7 @@ domain is the paper's ``"spmv"`` case study.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -206,26 +207,54 @@ def _as_pipeline(features, domain):
     return FeaturePipeline(domain=domain, collector=features)
 
 
-def measure_matrix(name, workload, kernels, pipeline, domain=None) -> MatrixMeasurement:
+def measure_matrix(
+    name, workload, kernels, pipeline, domain=None, vectorized=None
+) -> MatrixMeasurement:
     """Benchmark one workload on every kernel and collect its features.
 
     ``pipeline`` is the domain's :class:`~repro.pipeline.FeaturePipeline`
     (a bare feature collector is also accepted for backward compatibility).
+
+    ``vectorized`` picks the measurement path: the batched one shares a
+    :class:`~repro.kernels.base.LaunchContext` across every kernel and the
+    feature collector and simulates all launches through
+    :func:`~repro.gpu.simulator.simulate_launch_batch`; the scalar one times
+    each kernel independently.  Both are bit-identical by construction (they
+    evaluate the same :class:`~repro.gpu.simulator.LaunchSpec` objects).
+    The default follows the ``SEER_SCALAR_TIMING`` environment variable
+    (``1`` forces the scalar path, anything else picks the batched path).
     """
     domain = get_domain(domain)
     pipeline = _as_pipeline(pipeline, domain)
+    if vectorized is None:
+        vectorized = os.environ.get("SEER_SCALAR_TIMING") != "1"
     runtime = {}
     preprocessing = {}
-    for kernel in kernels:
-        try:
-            timing = kernel.timing(workload)
-        except UnsupportedKernelError:
-            runtime[kernel.name] = UNSUPPORTED_TIME_MS
-            preprocessing[kernel.name] = 0.0
-            continue
-        runtime[kernel.name] = timing.iteration_ms
-        preprocessing[kernel.name] = timing.preprocessing_ms
-    bundle = pipeline.extract(workload)
+    if vectorized:
+        from repro.kernels.base import LaunchContext, batch_timings
+
+        context = LaunchContext.of(workload)
+        timings = batch_timings(kernels, workload, context=context)
+        for kernel in kernels:
+            timing = timings.get(kernel.name)
+            if timing is None:
+                runtime[kernel.name] = UNSUPPORTED_TIME_MS
+                preprocessing[kernel.name] = 0.0
+                continue
+            runtime[kernel.name] = timing.iteration_ms
+            preprocessing[kernel.name] = timing.preprocessing_ms
+        bundle = pipeline.extract(workload, context=context)
+    else:
+        for kernel in kernels:
+            try:
+                timing = kernel.timing(workload)
+            except UnsupportedKernelError:
+                runtime[kernel.name] = UNSUPPORTED_TIME_MS
+                preprocessing[kernel.name] = 0.0
+                continue
+            runtime[kernel.name] = timing.iteration_ms
+            preprocessing[kernel.name] = timing.preprocessing_ms
+        bundle = pipeline.extract(workload)
     return MatrixMeasurement(
         name=name,
         known=bundle.known,

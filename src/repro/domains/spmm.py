@@ -34,7 +34,7 @@ import numpy as np
 from repro.domains.base import FeatureField, GatheredFeatureRow, ProblemDomain
 from repro.gpu.device import MI100, DeviceSpec
 from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES
-from repro.gpu.simulator import LaunchResult, group_reduce_max, simulate_launch
+from repro.gpu.simulator import LaunchResult, LaunchSpec, simulate_launch
 from repro.kernels.base import (
     ATOMIC_CYCLES,
     CSR_NNZ_BYTES,
@@ -42,6 +42,7 @@ from repro.kernels.base import (
     MERGE_SEARCH_CYCLES,
     ROW_OVERHEAD_CYCLES,
     WAVE_REDUCTION_CYCLES,
+    LaunchContext,
     SpmvKernel,
     UnsupportedKernelError,
 )
@@ -135,7 +136,9 @@ class SpmmSpec:
 # ----------------------------------------------------------------------
 # Gathered features: column-block occupancy
 # ----------------------------------------------------------------------
-def spmm_gathered_features(workload: SpmmWorkload) -> GatheredFeatureRow:
+def spmm_gathered_features(
+    workload: SpmmWorkload, context: LaunchContext = None
+) -> GatheredFeatureRow:
     """Column-block occupancy and row-density statistics of a workload.
 
     A row's *block occupancy* is the number of distinct ``COLUMN_BLOCK``-wide
@@ -144,11 +147,15 @@ def spmm_gathered_features(workload: SpmmWorkload) -> GatheredFeatureRow:
     reuses every fetched line; low occupancy means most of each fetched B
     line is wasted — the quantity the gathered classifier needs to price B
     traffic.
+
+    ``context`` optionally shares the row-length arrays the timing kernels
+    already derived for the same matrix.
     """
     matrix = workload.matrix
     if matrix.num_rows == 0 or matrix.num_cols == 0:
         return GatheredFeatureRow(names=SPMM_GATHERED_NAMES, values=(0.0,) * 4)
-    lengths = matrix.row_lengths()
+    context = LaunchContext.of(workload, context)
+    lengths = context.row_lengths
     num_blocks = -(-matrix.num_cols // COLUMN_BLOCK)
     if matrix.nnz == 0:
         occupancy = np.zeros(matrix.num_rows, dtype=np.float64)
@@ -165,7 +172,7 @@ def spmm_gathered_features(workload: SpmmWorkload) -> GatheredFeatureRow:
             new_block, nonempty_starts.astype(np.int64)
         )
         occupancy = distinct / float(num_blocks)
-    densities = lengths.astype(np.float64) / float(matrix.num_cols)
+    densities = context.row_lengths_f64 / float(matrix.num_cols)
     max_occupancy = float(occupancy.max())
     # Clamped so the mean <= max invariant holds exactly even if summation
     # error nudges the mean past the extreme (as the SpMV features do).
@@ -220,10 +227,16 @@ class SpmmFeatureCollector:
         """Cost of gathering the occupancy features for ``workload``."""
         return self._simulate(workload)[0]
 
-    def collect(self, workload: SpmmWorkload) -> SpmmCollectionResult:
-        """Compute the gathered features and their collection cost."""
+    def collect(self, workload: SpmmWorkload, context=None) -> SpmmCollectionResult:
+        """Compute the gathered features and their collection cost.
+
+        ``context`` optionally shares a
+        :class:`~repro.kernels.base.LaunchContext` with the timing kernels.
+        """
         time_ms, launch = self._simulate(workload)
-        features = spmm_gathered_features(workload).with_collection_time(time_ms)
+        features = spmm_gathered_features(
+            workload, context=context
+        ).with_collection_time(time_ms)
         return SpmmCollectionResult(
             features=features, collection_time_ms=time_ms, launch=launch
         )
@@ -312,29 +325,34 @@ class SpmmThreadMapped(SpmmKernel):
     has_preprocessing = False
     bandwidth_utilization = 0.90
 
-    def _iteration_launch(self, workload: SpmmWorkload) -> LaunchResult:
-        matrix = workload.matrix
+    def _launch_spec(self, workload: SpmmWorkload, context: LaunchContext) -> LaunchSpec:
         n = workload.num_vectors
         simd = self.device.simd_width
-        row_lengths = matrix.row_lengths().astype(np.float64)
-        lane_cycles = row_lengths * CYCLES_PER_NONZERO + ROW_OVERHEAD_CYCLES
         if n >= simd:
             # Every row spans whole wavefronts; A is re-streamed per pass.
+            lane_cycles = (
+                context.row_lengths_f64 * CYCLES_PER_NONZERO + ROW_OVERHEAD_CYCLES
+            )
             passes = int(np.ceil(n / simd))
             wavefront_cycles = np.repeat(lane_cycles, passes)
             a_passes = passes
         else:
             # A wavefront covers simd // n consecutive rows and is as slow
-            # as the heaviest of them.
+            # as the heaviest of them; the per-lane transform is monotone in
+            # the row length, so it runs on the shared grouped maxima
+            # (bit-identical to group-reducing the transformed lanes).
             rows_per_wave = max(1, simd // n)
-            wavefront_cycles = group_reduce_max(lane_cycles, rows_per_wave)
+            wavefront_cycles = (
+                context.grouped_max(rows_per_wave) * CYCLES_PER_NONZERO
+                + ROW_OVERHEAD_CYCLES
+            )
             a_passes = 1
         bytes_moved = (
             a_passes * self._a_stream_bytes(workload)
             + self._b_stream_bytes(workload)
             + self._c_stream_bytes(workload)
         )
-        return self._launch(wavefront_cycles, bytes_moved)
+        return self._spec(wavefront_cycles, bytes_moved)
 
 
 class SpmmRowWaveMapped(SpmmKernel):
@@ -351,14 +369,14 @@ class SpmmRowWaveMapped(SpmmKernel):
     #: Per-row bookkeeping: offset loads, predication, dispatch.
     PER_ROW_BOOKKEEPING_CYCLES = 36.0
 
-    def _iteration_launch(self, workload: SpmmWorkload) -> LaunchResult:
-        matrix = workload.matrix
+    def _launch_spec(self, workload: SpmmWorkload, context: LaunchContext) -> LaunchSpec:
         n = workload.num_vectors
-        row_lengths = matrix.row_lengths().astype(np.float64)
-        strips = np.ceil(row_lengths / self.device.simd_width)
-        wavefront_cycles = (
-            strips * CYCLES_PER_NONZERO * n
-            + WAVE_REDUCTION_CYCLES * n
+        # In place on the strip count; summands are integer-valued doubles,
+        # so folding the constants matches the chained adds bit for bit.
+        wavefront_cycles = np.ceil(context.row_lengths_f64 / self.device.simd_width)
+        wavefront_cycles *= CYCLES_PER_NONZERO * n
+        wavefront_cycles += (
+            WAVE_REDUCTION_CYCLES * n
             + ROW_OVERHEAD_CYCLES
             + self.PER_ROW_BOOKKEEPING_CYCLES
         )
@@ -367,7 +385,7 @@ class SpmmRowWaveMapped(SpmmKernel):
             + self._b_stream_bytes(workload)
             + self._c_stream_bytes(workload)
         )
-        return self._launch(wavefront_cycles, bytes_moved)
+        return self._spec(wavefront_cycles, bytes_moved)
 
 
 class SpmmWorkOriented(SpmmKernel):
@@ -384,7 +402,7 @@ class SpmmWorkOriented(SpmmKernel):
     #: Nonzeros each wavefront owns.
     CHUNK_NNZ = 512
 
-    def _iteration_launch(self, workload: SpmmWorkload) -> LaunchResult:
+    def _launch_spec(self, workload: SpmmWorkload, context: LaunchContext) -> LaunchSpec:
         matrix = workload.matrix
         n = workload.num_vectors
         num_chunks = max(1, -(-matrix.nnz // self.CHUNK_NNZ))
@@ -402,7 +420,7 @@ class SpmmWorkOriented(SpmmKernel):
             + self._b_stream_bytes(workload)
             + self._c_stream_bytes(workload)
         )
-        return self._launch(
+        return self._spec(
             wavefront_cycles, bytes_moved, serial_cycles=serial_cycles
         )
 
@@ -458,11 +476,11 @@ class SpmmEllBlockMapped(SpmmKernel):
         )
         return memory_time_ms(self.device, bytes_moved, self.bandwidth_utilization)
 
-    def _iteration_launch(self, workload: SpmmWorkload) -> LaunchResult:
+    def _launch_spec(self, workload: SpmmWorkload, context: LaunchContext) -> LaunchSpec:
         matrix = workload.matrix
         n = workload.num_vectors
         simd = self.device.simd_width
-        width = self._padded_width(workload)
+        width = context.max_row_length
         lanes = matrix.num_rows * n
         num_waves = max(1, int(np.ceil(lanes / simd)))
         wave_cycles = np.full(
@@ -482,14 +500,14 @@ class SpmmEllBlockMapped(SpmmKernel):
             + b_bytes
             + self._c_stream_bytes(workload)
         )
-        return self._launch(wave_cycles, bytes_moved)
+        return self._spec(wave_cycles, bytes_moved)
 
-    def timing(self, workload: SpmmWorkload):
+    def timing(self, workload: SpmmWorkload, context=None):
         if not self.supports(workload):
             raise UnsupportedKernelError(
                 f"{self.name}: padding ratio too large for this workload"
             )
-        return super().timing(workload)
+        return super().timing(workload, context)
 
 
 # ----------------------------------------------------------------------

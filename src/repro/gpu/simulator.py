@@ -20,10 +20,16 @@ well a kernel's access pattern exploits the DRAM bandwidth (row-per-wavefront
 kernels issue many small transactions and do not reach peak), and
 ``serial_cycles`` models device-wide serialized resources such as the global
 atomic unit that COO segmented reductions funnel through.
+
+Launches can be simulated one at a time (:func:`simulate_launch`) or as a
+batch (:func:`simulate_launch_batch`).  Kernels describe a launch as a
+:class:`LaunchSpec` so the two paths consume the *same* cycle arrays and are
+bit-identical by construction.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,15 +50,127 @@ class LaunchResult:
     overhead_ms: float
     num_wavefronts: int
     bytes_moved: float
+    serial_ms: float = 0.0
 
     @property
     def bound(self) -> str:
-        """Which roofline term dominated: 'compute', 'memory' or 'overhead'."""
-        if self.overhead_ms >= max(self.compute_ms, self.memory_ms):
+        """Which roofline term dominated: 'compute', 'memory', 'serial' or 'overhead'."""
+        busiest = max(self.compute_ms, self.memory_ms, self.serial_ms)
+        if self.overhead_ms >= busiest:
             return "overhead"
+        if self.serial_ms >= max(self.compute_ms, self.memory_ms):
+            return "serial"
         if self.compute_ms >= self.memory_ms:
             return "compute"
         return "memory"
+
+
+@dataclass(frozen=True)
+class LaunchSpec:
+    """One kernel launch awaiting simulation.
+
+    ``wavefront_cycles`` must be a 1-D float64 array (use
+    :func:`as_wavefront_cycles` to normalize arbitrary input); the remaining
+    fields mirror the :func:`simulate_launch` parameters.
+    """
+
+    wavefront_cycles: np.ndarray
+    bytes_moved: float
+    label: str = "kernel"
+    occupancy_factor: float = 1.0
+    extra_launches: int = 0
+    bandwidth_utilization: float = 1.0
+    serial_cycles: float = 0.0
+
+
+def as_wavefront_cycles(wavefront_cycles) -> np.ndarray:
+    """Normalize a cycle-count argument to a 1-D float64 array."""
+    cycles = np.asarray(wavefront_cycles, dtype=np.float64)
+    if cycles.ndim == 0:
+        cycles = cycles.reshape(1)
+    return cycles
+
+
+def _validate_spec(spec: LaunchSpec) -> float:
+    """Validate a spec and return ``max(wavefront_cycles)`` (0.0 when empty).
+
+    The min/max reductions double as the finiteness check: a NaN anywhere
+    propagates into the minimum and an infinity shows up at one of the two
+    extremes, so no extra ``isfinite`` pass over the array is needed.
+    """
+    cycles = spec.wavefront_cycles
+    if cycles.size:
+        lowest = float(cycles.min())
+        highest = float(cycles.max())
+        if math.isnan(lowest) or math.isinf(lowest) or math.isinf(highest):
+            raise ValueError(
+                f"{spec.label}: wavefront cycle counts must be finite"
+            )
+        if lowest < 0:
+            raise ValueError("wavefront cycle counts must be non-negative")
+    else:
+        highest = 0.0
+    if not math.isfinite(spec.bytes_moved):
+        raise ValueError(f"{spec.label}: bytes_moved must be finite")
+    if spec.bytes_moved < 0:
+        raise ValueError("bytes_moved must be non-negative")
+    if not math.isfinite(spec.serial_cycles):
+        raise ValueError(f"{spec.label}: serial_cycles must be finite")
+    if spec.serial_cycles < 0:
+        raise ValueError("serial_cycles must be non-negative")
+    return highest
+
+
+def _finalize(device: DeviceSpec, spec: LaunchSpec, max_cycles: float) -> LaunchResult:
+    """Turn a validated spec plus its max reduction into a LaunchResult."""
+    cycles = spec.wavefront_cycles
+    num_wavefronts = int(cycles.shape[0])
+    slots = wavefront_slots(device, spec.occupancy_factor)
+    if num_wavefronts == 0:
+        compute_ms = 0.0
+    else:
+        total_cycles = float(cycles.sum())
+        makespan_cycles = max(total_cycles / slots, max_cycles)
+        compute_ms = makespan_cycles * device.cycle_time_ns * 1e-6
+    memory_ms = memory_time_ms(device, spec.bytes_moved, spec.bandwidth_utilization)
+    serial_ms = spec.serial_cycles * device.cycle_time_ns * 1e-6
+    overhead_ms = device.launch_overhead_ms * (1 + max(spec.extra_launches, 0))
+    total_ms = overhead_ms + max(compute_ms, memory_ms, serial_ms)
+    return LaunchResult(
+        label=spec.label,
+        total_ms=total_ms,
+        compute_ms=compute_ms,
+        memory_ms=memory_ms,
+        overhead_ms=overhead_ms,
+        num_wavefronts=num_wavefronts,
+        bytes_moved=float(spec.bytes_moved),
+        serial_ms=serial_ms,
+    )
+
+
+def simulate_spec(device: DeviceSpec, spec: LaunchSpec) -> LaunchResult:
+    """Compute the time of one kernel launch described by a spec."""
+    return _finalize(device, spec, _validate_spec(spec))
+
+
+def simulate_launch_batch(device: DeviceSpec, specs) -> list:
+    """Simulate many launches on one device, bit-identical to the scalar path.
+
+    Each launch needs exactly three reductions over its cycle array (min for
+    validation, max, sum); the Python work per launch is constant, so the
+    batch costs ``O(total cycles) + O(len(specs))``.  The sums deliberately
+    run per-array through ``ndarray.sum`` rather than one
+    ``np.add.reduceat`` over a concatenation: NumPy's pairwise summation and
+    ``reduceat``'s sequential accumulation round differently, so a fused
+    segment sum would *not* be bit-identical to :func:`simulate_launch` (and
+    the concatenation would copy every array besides).
+    """
+    specs = list(specs)
+    maxima = [_validate_spec(spec) for spec in specs]
+    return [
+        _finalize(device, spec, max_cycles)
+        for spec, max_cycles in zip(specs, maxima)
+    ]
 
 
 @dataclass
@@ -113,9 +231,10 @@ def simulate_launch(
         Device description.
     wavefront_cycles:
         Array (or scalar sequence) of per-wavefront cycle counts.  Each entry
-        must already be the maximum lane cost of that wavefront.
+        must already be the maximum lane cost of that wavefront.  All counts
+        must be finite and non-negative.
     bytes_moved:
-        Total DRAM traffic of the launch in bytes.
+        Total DRAM traffic of the launch in bytes (finite, non-negative).
     label:
         Name recorded in the result (kernel name).
     occupancy_factor:
@@ -131,38 +250,16 @@ def simulate_launch(
         Cycles spent on a device-wide serialized resource (e.g. global
         atomics); modelled as an independent roofline term.
     """
-    cycles = np.asarray(wavefront_cycles, dtype=np.float64)
-    if cycles.ndim == 0:
-        cycles = cycles.reshape(1)
-    if np.any(cycles < 0):
-        raise ValueError("wavefront cycle counts must be non-negative")
-    if bytes_moved < 0:
-        raise ValueError("bytes_moved must be non-negative")
-    if serial_cycles < 0:
-        raise ValueError("serial_cycles must be non-negative")
-
-    num_wavefronts = int(cycles.shape[0])
-    slots = wavefront_slots(device, occupancy_factor)
-    if num_wavefronts == 0:
-        compute_ms = 0.0
-    else:
-        total_cycles = float(cycles.sum())
-        max_cycles = float(cycles.max())
-        makespan_cycles = max(total_cycles / slots, max_cycles)
-        compute_ms = makespan_cycles * device.cycle_time_ns * 1e-6
-    memory_ms = memory_time_ms(device, bytes_moved, bandwidth_utilization)
-    serial_ms = serial_cycles * device.cycle_time_ns * 1e-6
-    overhead_ms = device.launch_overhead_ms * (1 + max(extra_launches, 0))
-    total_ms = overhead_ms + max(compute_ms, memory_ms, serial_ms)
-    return LaunchResult(
+    spec = LaunchSpec(
+        wavefront_cycles=as_wavefront_cycles(wavefront_cycles),
+        bytes_moved=bytes_moved,
         label=label,
-        total_ms=total_ms,
-        compute_ms=compute_ms,
-        memory_ms=memory_ms,
-        overhead_ms=overhead_ms,
-        num_wavefronts=num_wavefronts,
-        bytes_moved=float(bytes_moved),
+        occupancy_factor=occupancy_factor,
+        extra_launches=extra_launches,
+        bandwidth_utilization=bandwidth_utilization,
+        serial_cycles=serial_cycles,
     )
+    return simulate_spec(device, spec)
 
 
 def group_reduce_max(values: np.ndarray, group_size: int) -> np.ndarray:
@@ -178,6 +275,8 @@ def group_reduce_max(values: np.ndarray, group_size: int) -> np.ndarray:
     if values.size == 0:
         return np.zeros(0, dtype=np.float64)
     num_groups = -(-values.size // group_size)
+    if values.size == num_groups * group_size:
+        return values.reshape(num_groups, group_size).max(axis=1)
     padded = np.zeros(num_groups * group_size, dtype=np.float64)
     padded[: values.size] = values
     return padded.reshape(num_groups, group_size).max(axis=1)
@@ -191,6 +290,8 @@ def group_reduce_sum(values: np.ndarray, group_size: int) -> np.ndarray:
     if values.size == 0:
         return np.zeros(0, dtype=np.float64)
     num_groups = -(-values.size // group_size)
+    if values.size == num_groups * group_size:
+        return values.reshape(num_groups, group_size).sum(axis=1)
     padded = np.zeros(num_groups * group_size, dtype=np.float64)
     padded[: values.size] = values
     return padded.reshape(num_groups, group_size).sum(axis=1)

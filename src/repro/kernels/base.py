@@ -26,7 +26,15 @@ import numpy as np
 from repro.gpu.device import DeviceSpec, MI100
 from repro.gpu.host import HostModel
 from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES, gather_bytes_per_access
-from repro.gpu.simulator import LaunchResult, simulate_launch
+from repro.gpu.simulator import (
+    LaunchResult,
+    LaunchSpec,
+    as_wavefront_cycles,
+    group_reduce_max,
+    simulate_launch,
+    simulate_launch_batch,
+    simulate_spec,
+)
 from repro.sparse.csr import CSRMatrix
 
 #: Cycles a lane spends per nonzero (multiply-add plus address arithmetic).
@@ -56,6 +64,104 @@ COO_NNZ_BYTES = VALUE_BYTES + 2 * INDEX_BYTES
 
 class UnsupportedKernelError(RuntimeError):
     """Raised when a kernel cannot process a matrix (e.g. pathological ELL padding)."""
+
+
+class LaunchContext:
+    """Per-workload cache of the row-structure arrays kernel cost models share.
+
+    Every kernel's cycle model starts from the same derived arrays — the row
+    lengths, their float64 view, their sorted order, grouped maxima.
+    Computing them once per measurement instead of once per kernel is where
+    most of the batched path's speedup comes from.  All consumers are
+    read-only and the matrix is not mutated during a measurement, so sharing
+    is safe; a context is cheap to construct and fills lazily.
+    """
+
+    def __init__(self, matrix: CSRMatrix):
+        self.matrix = matrix
+        self._row_lengths = None
+        self._row_lengths_f64 = None
+        self._sorted_f64 = None
+        self._grouped_max: dict = {}
+        self._clamped_stream: dict = {}
+        self._occupied_rows = None
+
+    @classmethod
+    def of(cls, workload, context: "Optional[LaunchContext]" = None) -> "LaunchContext":
+        """The given context, or a fresh one for the workload's matrix.
+
+        ``workload`` is either a :class:`~repro.sparse.csr.CSRMatrix` or a
+        domain workload wrapping one in a ``matrix`` attribute.
+        """
+        if context is not None:
+            return context
+        return cls(getattr(workload, "matrix", workload))
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Integer nonzero count per row."""
+        if self._row_lengths is None:
+            self._row_lengths = self.matrix.row_lengths()
+        return self._row_lengths
+
+    @property
+    def row_lengths_f64(self) -> np.ndarray:
+        """Row lengths as float64, the input of every cycle model."""
+        if self._row_lengths_f64 is None:
+            self._row_lengths_f64 = self.row_lengths.astype(np.float64)
+        return self._row_lengths_f64
+
+    @property
+    def sorted_row_lengths_f64(self) -> np.ndarray:
+        """Ascending row lengths (float64), shared by the adaptive kernels."""
+        if self._sorted_f64 is None:
+            self._sorted_f64 = np.sort(self.row_lengths_f64)
+        return self._sorted_f64
+
+    def grouped_max(self, group_size: int) -> np.ndarray:
+        """Grouped maximum of the row lengths (zero-padded tail).
+
+        Row-mapped kernels apply monotone per-lane cycle transforms, which
+        commute with ``max``; taking the grouped maximum over the raw row
+        lengths lets every kernel with the same group size share it and run
+        its transform on the ``group_size``-times-smaller array.
+        """
+        cached = self._grouped_max.get(group_size)
+        if cached is None:
+            cached = group_reduce_max(self.row_lengths_f64, group_size)
+            self._grouped_max[group_size] = cached
+        return cached
+
+    def clamped_stream_bytes(self, bytes_per_nonzero: float, floor: float) -> float:
+        """``sum(max(row_length * bytes_per_nonzero, floor))`` over all rows.
+
+        The per-row DRAM traffic with a minimum-transaction floor; the
+        warp- and block-mapped kernels use identical expressions, so the
+        reduction is cached per (bytes, floor) pair.
+        """
+        key = (bytes_per_nonzero, floor)
+        cached = self._clamped_stream.get(key)
+        if cached is None:
+            cached = float(
+                np.maximum(self.row_lengths_f64 * bytes_per_nonzero, floor).sum()
+            )
+            self._clamped_stream[key] = cached
+        return cached
+
+    @property
+    def occupied_rows(self) -> int:
+        """Number of rows with at least one nonzero."""
+        if self._occupied_rows is None:
+            self._occupied_rows = int(np.count_nonzero(self.row_lengths))
+        return self._occupied_rows
+
+    @property
+    def max_row_length(self) -> int:
+        """Longest row (0 for empty matrices)."""
+        matrix = self.matrix
+        if matrix.num_rows == 0 or matrix.nnz == 0:
+            return 0
+        return int(self.row_lengths.max())
 
 
 @dataclass(frozen=True)
@@ -94,7 +200,7 @@ class SpmvKernel(abc.ABC):
 
     Subclasses define ``name`` (the label used throughout the paper, e.g.
     ``"CSR,TM"``), ``sparse_format`` and ``schedule``, and implement the
-    structural cost model in :meth:`_iteration_launch`.
+    structural cost model in :meth:`_launch_spec`.
     """
 
     #: Paper label of the kernel, e.g. ``"CSR,WM"``.
@@ -134,13 +240,28 @@ class SpmvKernel(abc.ABC):
         return 0.0
 
     @abc.abstractmethod
-    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
-        """Simulate one SpMV iteration and return the launch result."""
+    def _launch_spec(self, matrix: CSRMatrix, context: LaunchContext) -> LaunchSpec:
+        """Translate the matrix structure into this kernel's launch spec.
 
-    def timing(self, matrix: CSRMatrix) -> KernelTiming:
-        """Preprocessing plus per-iteration timing for ``matrix``."""
+        The spec is the single source of truth for the kernel's cycle model:
+        the scalar path (:meth:`timing`) and the batched path
+        (:func:`batch_timings`) both simulate exactly this spec, which is
+        what makes them bit-identical by construction.
+        """
+
+    def _iteration_launch(self, matrix: CSRMatrix, context=None) -> LaunchResult:
+        """Simulate one SpMV iteration and return the launch result."""
+        context = LaunchContext.of(matrix, context)
+        return simulate_spec(self.device, self._launch_spec(matrix, context))
+
+    def timing(self, matrix: CSRMatrix, context=None) -> KernelTiming:
+        """Preprocessing plus per-iteration timing for ``matrix``.
+
+        ``context`` optionally shares a :class:`LaunchContext` across kernels
+        measuring the same workload.
+        """
         self._require_supported(matrix)
-        launch = self._iteration_launch(matrix)
+        launch = self._iteration_launch(matrix, context)
         return KernelTiming(
             kernel=self.name,
             preprocessing_ms=self.preprocessing_time_ms(matrix),
@@ -209,3 +330,60 @@ class SpmvKernel(abc.ABC):
             bandwidth_utilization=self.bandwidth_utilization,
             serial_cycles=serial_cycles,
         )
+
+    def _spec(
+        self,
+        wavefront_cycles,
+        bytes_moved: float,
+        occupancy_factor: float = 1.0,
+        extra_launches: int = 0,
+        serial_cycles: float = 0.0,
+    ) -> LaunchSpec:
+        """Build a launch spec labelled and bandwidth-scaled for this kernel."""
+        return LaunchSpec(
+            wavefront_cycles=as_wavefront_cycles(wavefront_cycles),
+            bytes_moved=float(bytes_moved),
+            label=self.name,
+            occupancy_factor=occupancy_factor,
+            extra_launches=extra_launches,
+            bandwidth_utilization=self.bandwidth_utilization,
+            serial_cycles=serial_cycles,
+        )
+
+
+def batch_timings(kernels, workload, context=None) -> dict:
+    """Timings of many kernels over one workload through the batched simulator.
+
+    Builds one shared :class:`LaunchContext`, collects every supported
+    kernel's :class:`~repro.gpu.simulator.LaunchSpec` and simulates them with
+    :func:`~repro.gpu.simulator.simulate_launch_batch`.  Returns ``{kernel
+    name: KernelTiming}``; kernels that cannot process the workload are
+    absent (callers record those as unsupported).  Bit-identical to calling
+    :meth:`SpmvKernel.timing` per kernel — both paths simulate the same
+    specs.
+    """
+    context = LaunchContext.of(workload, context)
+    supported = []
+    specs = []
+    for kernel in kernels:
+        if not kernel.supports(workload):
+            continue
+        supported.append(kernel)
+        specs.append(kernel._launch_spec(workload, context))
+    results: list = [None] * len(specs)
+    device_groups: dict = {}
+    for index, kernel in enumerate(supported):
+        device_groups.setdefault(kernel.device, []).append(index)
+    for device, indices in device_groups.items():
+        launches = simulate_launch_batch(device, [specs[i] for i in indices])
+        for index, launch in zip(indices, launches):
+            results[index] = launch
+    timings = {}
+    for kernel, launch in zip(supported, results):
+        timings[kernel.name] = KernelTiming(
+            kernel=kernel.name,
+            preprocessing_ms=kernel.preprocessing_time_ms(workload),
+            iteration_ms=launch.total_ms,
+            iteration_detail=launch,
+        )
+    return timings

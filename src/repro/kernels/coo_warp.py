@@ -13,12 +13,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpu.memory import VALUE_BYTES
-from repro.gpu.simulator import LaunchResult
+from repro.gpu.simulator import LaunchSpec
 from repro.kernels.base import (
     ATOMIC_CYCLES,
     COO_NNZ_BYTES,
     CYCLES_PER_NONZERO,
     WAVE_REDUCTION_CYCLES,
+    LaunchContext,
     SpmvKernel,
 )
 from repro.sparse.csr import CSRMatrix
@@ -36,12 +37,12 @@ class CooWarpMapped(SpmvKernel):
     has_preprocessing = False
     bandwidth_utilization = 0.95
 
-    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
+    def _launch_spec(self, matrix: CSRMatrix, context: LaunchContext) -> LaunchSpec:
         simd = self.device.simd_width
         num_waves = max(1, int(np.ceil(matrix.nnz / simd)))
         # Number of row boundaries falling inside each wavefront's slice:
         # on average (rows with nonzeros) / waves, at least one per wave.
-        occupied_rows = int(np.count_nonzero(matrix.row_lengths()))
+        occupied_rows = context.occupied_rows
         boundaries_per_wave = max(1.0, occupied_rows / num_waves)
         wave_cycles = (
             CYCLES_PER_NONZERO
@@ -58,7 +59,7 @@ class CooWarpMapped(SpmvKernel):
         # through the global atomic unit; matrices with millions of short
         # rows therefore serialize on it.
         serial_cycles = occupied_rows / ATOMIC_THROUGHPUT_PER_CYCLE
-        return self._launch(
+        return self._spec(
             wavefront_cycles, bytes_moved, serial_cycles=serial_cycles
         )
 

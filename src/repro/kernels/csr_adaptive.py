@@ -14,11 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpu.memory import INDEX_BYTES
-from repro.gpu.simulator import LaunchResult, group_reduce_sum
+from repro.gpu.simulator import LaunchSpec, group_reduce_sum
 from repro.kernels.base import (
     CYCLES_PER_NONZERO,
     ROW_OVERHEAD_CYCLES,
     WAVE_REDUCTION_CYCLES,
+    LaunchContext,
     SpmvKernel,
 )
 from repro.sparse.csr import CSRMatrix
@@ -57,10 +58,14 @@ class CsrAdaptive(SpmvKernel):
         upload_ms = self.host.transfer_time_ms(num_blocks * INDEX_BYTES)
         return binning_ms + upload_ms
 
-    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
-        row_lengths = np.sort(matrix.row_lengths().astype(np.float64))
-        short = row_lengths[row_lengths <= SHORT_ROW_LIMIT]
-        long = row_lengths[row_lengths > SHORT_ROW_LIMIT]
+    def _launch_spec(self, matrix: CSRMatrix, context: LaunchContext) -> LaunchSpec:
+        # The sorted lengths are shared with the vendor variant; the
+        # short/long split is a binary search on the sorted array (two
+        # views) instead of two boolean-mask passes and copies.
+        row_lengths = context.sorted_row_lengths_f64
+        split = int(np.searchsorted(row_lengths, SHORT_ROW_LIMIT, side="right"))
+        short = row_lengths[:split]
+        long = row_lengths[split:]
 
         wave_costs = []
         if short.size:
@@ -88,7 +93,7 @@ class CsrAdaptive(SpmvKernel):
         bytes_moved = self._csr_stream_bytes(matrix) + self._gather_bytes(
             matrix, matrix.nnz
         )
-        return self._launch(wavefront_cycles, bytes_moved)
+        return self._spec(wavefront_cycles, bytes_moved)
 
     def _rows_per_block(self, short_row_lengths: np.ndarray) -> int:
         """How many sorted short rows fit in one ROW_BLOCK_NNZ-sized block."""

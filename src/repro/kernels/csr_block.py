@@ -12,12 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES
-from repro.gpu.simulator import LaunchResult
+from repro.gpu.simulator import LaunchSpec
 from repro.kernels.base import (
     BLOCK_REDUCTION_CYCLES,
     CSR_NNZ_BYTES,
     CYCLES_PER_NONZERO,
     ROW_OVERHEAD_CYCLES,
+    LaunchContext,
     SpmvKernel,
 )
 from repro.sparse.csr import CSRMatrix
@@ -41,21 +42,19 @@ class CsrBlockMapped(SpmvKernel):
     has_preprocessing = False
     bandwidth_utilization = 0.80
 
-    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
-        row_lengths = matrix.row_lengths().astype(np.float64)
+    def _launch_spec(self, matrix: CSRMatrix, context: LaunchContext) -> LaunchSpec:
         group_width = self.device.simd_width * WAVES_PER_WORKGROUP
-        strips = np.ceil(row_lengths / group_width)
-        workgroup_cycles = (
-            strips * CYCLES_PER_NONZERO
-            + BLOCK_REDUCTION_CYCLES
-            + ROW_OVERHEAD_CYCLES
-        )
+        # In place on the strip count; summands are integer-valued doubles,
+        # so folding the constants matches the chained adds bit for bit.
+        workgroup_cycles = np.ceil(context.row_lengths_f64 / group_width)
+        workgroup_cycles *= CYCLES_PER_NONZERO
+        workgroup_cycles += BLOCK_REDUCTION_CYCLES + ROW_OVERHEAD_CYCLES
         # Every wavefront of the workgroup is busy for the workgroup's
         # duration, so the launch contains WAVES_PER_WORKGROUP waves per row
         # with the same cost.
         wavefront_cycles = np.repeat(workgroup_cycles, WAVES_PER_WORKGROUP)
-        stream_bytes = float(
-            np.maximum(row_lengths * CSR_NNZ_BYTES, MIN_ROW_TRANSACTION_BYTES).sum()
+        stream_bytes = context.clamped_stream_bytes(
+            CSR_NNZ_BYTES, MIN_ROW_TRANSACTION_BYTES
         )
         bytes_moved = (
             stream_bytes
@@ -63,6 +62,6 @@ class CsrBlockMapped(SpmvKernel):
             + matrix.num_rows * VALUE_BYTES
             + self._gather_bytes(matrix, matrix.nnz)
         )
-        return self._launch(
+        return self._spec(
             wavefront_cycles, bytes_moved, occupancy_factor=BLOCK_OCCUPANCY
         )

@@ -17,10 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpu.occupancy import wavefront_slots
-from repro.gpu.simulator import LaunchResult
+from repro.gpu.simulator import LaunchSpec
 from repro.kernels.base import (
     CYCLES_PER_NONZERO,
     MERGE_SEARCH_CYCLES,
+    LaunchContext,
     SpmvKernel,
 )
 from repro.gpu.memory import VALUE_BYTES
@@ -54,8 +55,8 @@ class _MergeBased(SpmvKernel):
     #: coarse-grained variant).
     searches_per_wave = 1.0
 
-    def _merge_launch(self, matrix: CSRMatrix, items_per_lane: float, num_waves: int,
-                      extra_launches: int) -> LaunchResult:
+    def _merge_spec(self, matrix: CSRMatrix, items_per_lane: float, num_waves: int,
+                    extra_launches: int) -> LaunchSpec:
         total_work = matrix.nnz + matrix.num_rows
         search_depth = np.log2(max(total_work, 2))
         search_cycles = MERGE_SEARCH_CYCLES + 4.0 * search_depth
@@ -74,7 +75,7 @@ class _MergeBased(SpmvKernel):
             + 2.0 * partial_sum_bytes
             + search_bytes
         )
-        return self._launch(
+        return self._spec(
             wavefront_cycles, bytes_moved, extra_launches=extra_launches
         )
 
@@ -92,14 +93,14 @@ class CsrWorkOriented(_MergeBased):
     has_preprocessing = False
     searches_per_wave = 64.0  # one binary search per lane
 
-    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
+    def _launch_spec(self, matrix: CSRMatrix, context: LaunchContext) -> LaunchSpec:
         total_work = matrix.nnz + matrix.num_rows
         slots = wavefront_slots(self.device)
         total_lanes = slots * self.device.simd_width
         items_per_lane = float(np.ceil(max(total_work, 1) / total_lanes))
         lanes_needed = int(np.ceil(max(total_work, 1) / items_per_lane))
         num_waves = min(slots, int(np.ceil(lanes_needed / self.device.simd_width)))
-        return self._merge_launch(matrix, items_per_lane, num_waves, extra_launches=1)
+        return self._merge_spec(matrix, items_per_lane, num_waves, extra_launches=1)
 
 
 class CsrMergePath(_MergeBased):
@@ -116,8 +117,8 @@ class CsrMergePath(_MergeBased):
     schedule = "Work Oriented (merge path)"
     has_preprocessing = False
 
-    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
+    def _launch_spec(self, matrix: CSRMatrix, context: LaunchContext) -> LaunchSpec:
         total_work = matrix.nnz + matrix.num_rows
         num_waves = int(np.ceil(max(total_work, 1) / MP_ITEMS_PER_WAVE))
         items_per_lane = MP_ITEMS_PER_WAVE / self.device.simd_width
-        return self._merge_launch(matrix, items_per_lane, num_waves, extra_launches=1)
+        return self._merge_spec(matrix, items_per_lane, num_waves, extra_launches=1)

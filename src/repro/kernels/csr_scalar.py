@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gpu.simulator import LaunchResult, group_reduce_max
+from repro.gpu.simulator import LaunchSpec
 from repro.kernels.base import (
     CSR_NNZ_BYTES,
     CYCLES_PER_NONZERO,
     ROW_OVERHEAD_CYCLES,
+    LaunchContext,
     SpmvKernel,
 )
 from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES
@@ -46,10 +47,16 @@ class CsrThreadMapped(SpmvKernel):
     has_preprocessing = False
     bandwidth_utilization = 0.90
 
-    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
-        row_lengths = matrix.row_lengths().astype(np.float64)
-        lane_cycles = row_lengths * CYCLES_PER_NONZERO + ROW_OVERHEAD_CYCLES
-        wavefront_cycles = group_reduce_max(lane_cycles, self.device.simd_width)
+    def _launch_spec(self, matrix: CSRMatrix, context: LaunchContext) -> LaunchSpec:
+        row_lengths = context.row_lengths_f64
+        # The per-lane cycle transform is monotone in the row length, so it
+        # commutes with the wavefront max: transforming the shared grouped
+        # maxima is bit-identical to group-reducing the transformed lanes
+        # and touches a simd_width-times-smaller array.
+        wavefront_cycles = (
+            context.grouped_max(self.device.simd_width) * CYCLES_PER_NONZERO
+            + ROW_OVERHEAD_CYCLES
+        )
         penalty = uncoalesced_penalty(row_lengths)
         stream_bytes = float((row_lengths * CSR_NNZ_BYTES * penalty).sum())
         bytes_moved = (
@@ -58,4 +65,4 @@ class CsrThreadMapped(SpmvKernel):
             + matrix.num_rows * VALUE_BYTES
             + self._gather_bytes(matrix, matrix.nnz)
         )
-        return self._launch(wavefront_cycles, bytes_moved)
+        return self._spec(wavefront_cycles, bytes_moved)

@@ -13,12 +13,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES
-from repro.gpu.simulator import LaunchResult
+from repro.gpu.simulator import LaunchSpec
 from repro.kernels.base import (
     CSR_NNZ_BYTES,
     CYCLES_PER_NONZERO,
     ROW_OVERHEAD_CYCLES,
     WAVE_REDUCTION_CYCLES,
+    LaunchContext,
     SpmvKernel,
 )
 from repro.sparse.csr import CSRMatrix
@@ -44,17 +45,17 @@ class CsrWarpMapped(SpmvKernel):
     has_preprocessing = False
     bandwidth_utilization = 0.80
 
-    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
-        row_lengths = matrix.row_lengths().astype(np.float64)
-        strips = np.ceil(row_lengths / self.device.simd_width)
-        wavefront_cycles = (
-            strips * CYCLES_PER_NONZERO
-            + WAVE_REDUCTION_CYCLES
-            + ROW_OVERHEAD_CYCLES
-            + PER_ROW_BOOKKEEPING_CYCLES
+    def _launch_spec(self, matrix: CSRMatrix, context: LaunchContext) -> LaunchSpec:
+        # Computed in place on the strip count; the summands stay exact
+        # (strip counts and cycle constants are integer-valued doubles), so
+        # folding the constants matches the chained adds bit for bit.
+        wavefront_cycles = np.ceil(context.row_lengths_f64 / self.device.simd_width)
+        wavefront_cycles *= CYCLES_PER_NONZERO
+        wavefront_cycles += (
+            WAVE_REDUCTION_CYCLES + ROW_OVERHEAD_CYCLES + PER_ROW_BOOKKEEPING_CYCLES
         )
-        stream_bytes = float(
-            np.maximum(row_lengths * CSR_NNZ_BYTES, MIN_ROW_TRANSACTION_BYTES).sum()
+        stream_bytes = context.clamped_stream_bytes(
+            CSR_NNZ_BYTES, MIN_ROW_TRANSACTION_BYTES
         )
         bytes_moved = (
             stream_bytes
@@ -62,4 +63,4 @@ class CsrWarpMapped(SpmvKernel):
             + matrix.num_rows * VALUE_BYTES
             + self._gather_bytes(matrix, matrix.nnz)
         )
-        return self._launch(wavefront_cycles, bytes_moved)
+        return self._spec(wavefront_cycles, bytes_moved)

@@ -13,10 +13,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES
-from repro.gpu.simulator import LaunchResult
+from repro.gpu.simulator import LaunchSpec
 from repro.kernels.base import (
     CYCLES_PER_NONZERO,
     ROW_OVERHEAD_CYCLES,
+    LaunchContext,
     SpmvKernel,
     UnsupportedKernelError,
 )
@@ -52,8 +53,8 @@ class EllThreadMapped(SpmvKernel):
             return 0
         return int(matrix.row_lengths().max())
 
-    def _iteration_launch(self, matrix: CSRMatrix) -> LaunchResult:
-        width = self._padded_width(matrix)
+    def _launch_spec(self, matrix: CSRMatrix, context: LaunchContext) -> LaunchSpec:
+        width = context.max_row_length
         num_waves = max(1, int(np.ceil(matrix.num_rows / self.device.simd_width)))
         wave_cycles = width * CYCLES_PER_NONZERO + ROW_OVERHEAD_CYCLES
         wavefront_cycles = np.full(num_waves, wave_cycles, dtype=np.float64)
@@ -63,7 +64,7 @@ class EllThreadMapped(SpmvKernel):
             + matrix.num_rows * VALUE_BYTES
             + self._gather_bytes(matrix, matrix.nnz)
         )
-        return self._launch(wavefront_cycles, bytes_moved)
+        return self._spec(wavefront_cycles, bytes_moved)
 
     def _numeric_result(self, matrix: CSRMatrix, x: np.ndarray) -> np.ndarray:
         """Compute through the ELL layout when it is small enough to build."""
@@ -72,9 +73,9 @@ class EllThreadMapped(SpmvKernel):
             return ELLMatrix.from_csr(matrix, max_padding_ratio=float("inf")).spmv(x)
         return matrix.spmv(x)
 
-    def timing(self, matrix: CSRMatrix):
+    def timing(self, matrix: CSRMatrix, context=None):
         if not self.supports(matrix):
             raise UnsupportedKernelError(
                 f"{self.name}: padding ratio too large for this matrix"
             )
-        return super().timing(matrix)
+        return super().timing(matrix, context)

@@ -57,10 +57,18 @@ class FeatureCollector:
         """Cost of gathering the dynamic features for ``matrix``."""
         return self._simulate(matrix)[0]
 
-    def collect(self, matrix: CSRMatrix) -> FeatureCollectionResult:
-        """Compute the gathered features and their collection cost."""
+    def collect(self, matrix: CSRMatrix, context=None) -> FeatureCollectionResult:
+        """Compute the gathered features and their collection cost.
+
+        ``context`` optionally shares a
+        :class:`~repro.kernels.base.LaunchContext` so the row lengths the
+        timing kernels already derived are reused instead of recomputed.
+        """
         time_ms, launch = self._simulate(matrix)
-        features = gathered_features(matrix).with_collection_time(time_ms)
+        row_lengths = None if context is None else context.row_lengths_f64
+        features = gathered_features(
+            matrix, row_lengths=row_lengths
+        ).with_collection_time(time_ms)
         return FeatureCollectionResult(
             features=features, collection_time_ms=time_ms, launch=launch
         )

@@ -114,25 +114,38 @@ class FeaturePipeline:
         """Extract the trivially known features of ``workload``."""
         return self.domain.known_features(workload, iterations)
 
-    def gather(self, workload):
-        """Run the collection kernels; the row carries its measured cost."""
-        return self.collector.collect(workload).features
+    def gather(self, workload, context=None):
+        """Run the collection kernels; the row carries its measured cost.
+
+        ``context`` optionally shares a
+        :class:`~repro.kernels.base.LaunchContext` with the timing kernels so
+        the row lengths are derived once per workload.  Collectors that
+        predate the context protocol are still called without it.
+        """
+        if context is None:
+            return self.collector.collect(workload).features
+        return self.collector.collect(workload, context=context).features
 
     def empty_gathered(self):
         """The all-zero gathered row recorded when collection is skipped."""
         return self.domain.empty_gathered()
 
-    def extract(self, workload, iterations: int = 1, gather: bool = True) -> FeatureBundle:
+    def extract(
+        self, workload, iterations: int = 1, gather: bool = True, context=None
+    ) -> FeatureBundle:
         """Full featurization of one workload.
 
         With ``gather`` (the default, what the benchmark sweep needs) the
         collection kernels run and their cost is recorded; without it the
         bundle carries the domain's empty gathered row, as the runtime flow
-        does when the selector skips collection.
+        does when the selector skips collection.  ``context`` is forwarded
+        to :meth:`gather`.
         """
         known = self.known_features(workload, iterations)
         if gather:
-            return FeatureBundle(known=known, gathered=self.gather(workload), collected=True)
+            return FeatureBundle(
+                known=known, gathered=self.gather(workload, context=context), collected=True
+            )
         return FeatureBundle(known=known, gathered=self.empty_gathered(), collected=False)
 
     # ------------------------------------------------------------------

@@ -107,16 +107,23 @@ def known_features(matrix: CSRMatrix, iterations: int = 1) -> KnownFeatures:
     )
 
 
-def gathered_features(matrix: CSRMatrix) -> GatheredFeatures:
+def gathered_features(matrix: CSRMatrix, row_lengths=None) -> GatheredFeatures:
     """Compute the row-density statistics of ``matrix``.
 
     The density of a row is ``row_length / num_cols`` (Section IV-A), which
     normalizes the statistic across matrices of different widths.  Matrices
     with no columns or no rows yield all-zero statistics.
+
+    ``row_lengths`` optionally supplies the matrix's row lengths as a
+    float64 array (e.g. from a shared
+    :class:`~repro.kernels.base.LaunchContext`) so callers that already
+    computed them avoid a second pass over the row offsets.
     """
     if matrix.num_rows == 0 or matrix.num_cols == 0:
         return GatheredFeatures(0.0, 0.0, 0.0, 0.0)
-    densities = matrix.row_lengths().astype(np.float64) / float(matrix.num_cols)
+    if row_lengths is None:
+        row_lengths = matrix.row_lengths().astype(np.float64)
+    densities = row_lengths / float(matrix.num_cols)
     max_density = float(densities.max())
     min_density = float(densities.min())
     if min_density == max_density:

@@ -107,3 +107,99 @@ def test_group_reduce_helpers():
     assert group_reduce_max(np.array([]), 4).size == 0
     with pytest.raises(ValueError):
         group_reduce_max(values, 0)
+
+
+# ----------------------------------------------------------------------
+# Serial (atomic-throughput) attribution and batched simulation
+# ----------------------------------------------------------------------
+def test_serial_bound_launch_reports_serial():
+    # COO-style segmented reduction over millions of short rows: cheap
+    # wavefronts, little traffic, but every row's carry-out funnels through
+    # the global atomic unit.  The roofline must attribute the time to that
+    # serial term, not mislabel it compute- or memory-bound.
+    result = simulate_launch(
+        MI100,
+        np.full(64, 50.0),
+        bytes_moved=1e5,
+        serial_cycles=5e9,
+        label="COO,WM",
+    )
+    assert result.serial_ms == pytest.approx(5e9 * MI100.cycle_time_ns * 1e-6)
+    assert result.serial_ms > max(result.compute_ms, result.memory_ms)
+    assert result.bound == "serial"
+    assert result.total_ms == pytest.approx(
+        MI100.launch_overhead_ms + result.serial_ms
+    )
+
+
+def test_serial_ms_recorded_even_when_not_dominant():
+    result = simulate_launch(
+        MI100, np.full(1000, 1e6), bytes_moved=0.0, serial_cycles=100.0
+    )
+    assert result.serial_ms == pytest.approx(100.0 * MI100.cycle_time_ns * 1e-6)
+    assert result.bound == "compute"
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+def test_non_finite_cycles_rejected(bad):
+    with pytest.raises(ValueError, match="finite"):
+        simulate_launch(MI100, [1.0, bad, 2.0], bytes_moved=0.0)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+def test_non_finite_bytes_rejected(bad):
+    with pytest.raises(ValueError, match="finite"):
+        simulate_launch(MI100, [1.0], bytes_moved=bad)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+def test_non_finite_serial_cycles_rejected(bad):
+    with pytest.raises(ValueError, match="finite"):
+        simulate_launch(MI100, [1.0], bytes_moved=0.0, serial_cycles=bad)
+
+
+def test_batch_matches_scalar_simulation():
+    from repro.gpu.simulator import LaunchSpec, simulate_launch_batch, simulate_spec
+
+    rng = np.random.default_rng(7)
+    specs = [
+        LaunchSpec(
+            wavefront_cycles=rng.uniform(1.0, 1e6, size=rng.integers(1, 500)),
+            bytes_moved=float(rng.uniform(0.0, 1e9)),
+            label=f"kernel-{i}",
+            occupancy_factor=float(rng.uniform(0.1, 1.0)),
+            extra_launches=int(rng.integers(0, 3)),
+            bandwidth_utilization=float(rng.uniform(0.5, 1.0)),
+            serial_cycles=float(rng.uniform(0.0, 1e7)),
+        )
+        for i in range(20)
+    ]
+    batched = simulate_launch_batch(MI100, specs)
+    for spec, launch in zip(specs, batched):
+        assert launch == simulate_spec(MI100, spec)
+
+
+def test_batch_rejects_any_invalid_spec():
+    from repro.gpu.simulator import LaunchSpec, simulate_launch_batch
+
+    good = LaunchSpec(wavefront_cycles=np.array([1.0]), bytes_moved=0.0)
+    bad = LaunchSpec(
+        wavefront_cycles=np.array([np.nan]), bytes_moved=0.0, label="broken"
+    )
+    with pytest.raises(ValueError, match="broken"):
+        simulate_launch_batch(MI100, [good, bad])
+
+
+def test_batch_of_empty_launches():
+    from repro.gpu.simulator import LaunchSpec, simulate_launch_batch
+
+    specs = [LaunchSpec(wavefront_cycles=np.array([]), bytes_moved=0.0)]
+    (launch,) = simulate_launch_batch(MI100, specs)
+    assert launch.total_ms == pytest.approx(MI100.launch_overhead_ms)
+    assert launch.num_wavefronts == 0
+
+
+def test_group_reduce_divisible_fast_path():
+    values = np.array([1.0, 5.0, 2.0, 7.0, 3.0, 4.0])
+    np.testing.assert_array_equal(group_reduce_max(values, 3), [5.0, 7.0])
+    np.testing.assert_array_equal(group_reduce_sum(values, 3), [8.0, 14.0])

@@ -1,0 +1,128 @@
+"""Differential tests: batched measurement paths vs. their scalar references.
+
+The vectorized sweep hot path (shared :class:`~repro.kernels.base.LaunchContext`
+plus :func:`~repro.gpu.simulator.simulate_launch_batch`) must be *bit-identical*
+to timing every kernel independently — the golden artifacts and every
+downstream model depend on it.  These properties drive both domains through
+hypothesis-generated matrices and compare the two paths with exact equality,
+never tolerances.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benchmarking import measure_matrix
+from repro.domains import get_domain
+from repro.domains.spmm import SpmmWorkload, spmm_gathered_features
+from repro.kernels.base import LaunchContext, batch_timings
+from repro.sparse.features import gathered_features
+from repro.sparse.generators import matrix_from_row_lengths
+
+
+@st.composite
+def csr_matrices(draw):
+    """Small matrices with adversarial row-length mixes (empty/short/long)."""
+    lengths = draw(
+        st.lists(st.integers(min_value=0, max_value=24), min_size=1, max_size=50)
+    )
+    cols = draw(st.integers(min_value=max(lengths + [1]), max_value=96))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return matrix_from_row_lengths(np.array(lengths, dtype=np.int64), cols, rng=seed)
+
+
+def _scalar_timings(kernels, workload):
+    """The pre-batching reference: each kernel timed in isolation."""
+    timings = {}
+    for kernel in kernels:
+        if not kernel.supports(workload):
+            continue
+        timings[kernel.name] = kernel.timing(workload)
+    return timings
+
+
+def _assert_timings_identical(batched, scalar):
+    assert set(batched) == set(scalar)
+    for name, timing in batched.items():
+        reference = scalar[name]
+        assert timing.preprocessing_ms == reference.preprocessing_ms
+        assert timing.iteration_ms == reference.iteration_ms
+        assert timing.iteration_detail == reference.iteration_detail
+
+
+@given(csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_spmv_batch_timings_match_scalar(matrix):
+    kernels = get_domain("spmv").default_kernels()
+    _assert_timings_identical(
+        batch_timings(kernels, matrix), _scalar_timings(kernels, matrix)
+    )
+
+
+@given(csr_matrices(), st.sampled_from([1, 4, 32, 128]))
+@settings(max_examples=40, deadline=None)
+def test_spmm_batch_timings_match_scalar(matrix, num_vectors):
+    workload = SpmmWorkload(matrix=matrix, num_vectors=num_vectors)
+    kernels = get_domain("spmm").default_kernels()
+    _assert_timings_identical(
+        batch_timings(kernels, workload), _scalar_timings(kernels, workload)
+    )
+
+
+@given(csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_gathered_features_with_shared_row_lengths(matrix):
+    context = LaunchContext(matrix)
+    assert gathered_features(matrix, row_lengths=context.row_lengths_f64) == (
+        gathered_features(matrix)
+    )
+
+
+@given(csr_matrices(), st.sampled_from([2, 16]))
+@settings(max_examples=40, deadline=None)
+def test_spmm_gathered_features_with_shared_context(matrix, num_vectors):
+    workload = SpmmWorkload(matrix=matrix, num_vectors=num_vectors)
+    shared = spmm_gathered_features(workload, context=LaunchContext(matrix))
+    assert shared == spmm_gathered_features(workload)
+
+
+@given(csr_matrices())
+@settings(max_examples=15, deadline=None)
+def test_measure_matrix_vectorized_matches_scalar_spmv(matrix):
+    domain = get_domain("spmv")
+    kernels = domain.default_kernels()
+    pipeline = domain.make_pipeline()
+    fast = measure_matrix("m", matrix, kernels, pipeline, domain=domain, vectorized=True)
+    slow = measure_matrix("m", matrix, kernels, pipeline, domain=domain, vectorized=False)
+    assert fast.kernel_runtime_ms == slow.kernel_runtime_ms
+    assert fast.kernel_preprocessing_ms == slow.kernel_preprocessing_ms
+    assert fast.known == slow.known
+    assert fast.gathered == slow.gathered
+    assert fast.collection_time_ms == slow.collection_time_ms
+
+
+@given(csr_matrices(), st.sampled_from([4, 32]))
+@settings(max_examples=15, deadline=None)
+def test_measure_matrix_vectorized_matches_scalar_spmm(matrix, num_vectors):
+    domain = get_domain("spmm")
+    workload = SpmmWorkload(matrix=matrix, num_vectors=num_vectors)
+    kernels = domain.default_kernels()
+    pipeline = domain.make_pipeline()
+    fast = measure_matrix("m", workload, kernels, pipeline, domain=domain, vectorized=True)
+    slow = measure_matrix("m", workload, kernels, pipeline, domain=domain, vectorized=False)
+    assert fast.kernel_runtime_ms == slow.kernel_runtime_ms
+    assert fast.kernel_preprocessing_ms == slow.kernel_preprocessing_ms
+    assert fast.gathered == slow.gathered
+
+
+def test_scalar_timing_env_switch(monkeypatch):
+    """``SEER_SCALAR_TIMING=1`` forces the per-kernel loop; both agree."""
+    matrix = matrix_from_row_lengths(np.array([3, 0, 17, 5]), 32, rng=11)
+    domain = get_domain("spmv")
+    kernels = domain.default_kernels()
+    pipeline = domain.make_pipeline()
+    monkeypatch.setenv("SEER_SCALAR_TIMING", "1")
+    scalar = measure_matrix("m", matrix, kernels, pipeline, domain=domain)
+    monkeypatch.delenv("SEER_SCALAR_TIMING")
+    fast = measure_matrix("m", matrix, kernels, pipeline, domain=domain)
+    assert fast.kernel_runtime_ms == scalar.kernel_runtime_ms
