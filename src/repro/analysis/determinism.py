@@ -41,6 +41,8 @@ ARTIFACT_MODULE_SCOPE = (
     "serving/artifacts.py",
     "serving/registry.py",
     "serving/ingest.py",
+    "serving/feedback.py",
+    "serving/promotion.py",
     "experiments/*.py",
     "core/codegen.py",
 )

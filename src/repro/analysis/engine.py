@@ -270,7 +270,12 @@ def register_rule(
 
 def _ensure_rules_loaded() -> None:
     """Import the rule modules (registration happens at import time)."""
-    from repro.analysis import concurrency, conformance, determinism  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        concurrency,
+        conformance,
+        determinism,
+        promotion,
+    )
 
 
 def all_rules() -> Tuple[RuleSpec, ...]:

@@ -1,0 +1,92 @@
+"""Promotion rules: the registry-pointer-atomicity invariant (PROM0xx).
+
+The serving daemon's :class:`~repro.serving.service.ModelHub` re-resolves
+the registry's ``current`` pointer on every request and hot-reloads the
+model when it moves.  That only works because every write under
+``serving/registry.py`` goes through
+:func:`~repro.bench.engine.atomic_write_bytes` (write-to-temp + rename):
+a reader either sees the old document or the new one, never a torn half.
+A single ``write_text`` slipped into the registry would reintroduce the
+race — this rule makes the invariant machine-checked.
+
+* ``PROM001`` — a direct file write (``write_text``/``write_bytes`` or
+  ``open(..., "w"/"a"/"x")``) inside the registry module, where every
+  persisted byte must go through ``atomic_write_bytes``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleSource,
+    call_keywords,
+    dotted_name,
+    register_rule,
+)
+
+#: Modules whose on-disk documents concurrent serving processes follow —
+#: the scope of the atomic-write rule.
+REGISTRY_MODULE_SCOPE = ("serving/registry.py",)
+
+_DIRECT_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _open_write_mode(node: ast.Call) -> str:
+    """The write-ish mode string of an ``open()`` call, or ``""``."""
+    mode = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    keyword_mode = call_keywords(node).get("mode")
+    if keyword_mode is not None:
+        mode = keyword_mode
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and _WRITE_MODE_CHARS.intersection(mode.value)
+    ):
+        return mode.value
+    return ""
+
+
+@register_rule(
+    "PROM001",
+    "registry file write bypassing atomic_write_bytes",
+    scope=REGISTRY_MODULE_SCOPE,
+)
+def nonatomic_registry_write(module: ModuleSource) -> Iterator[Finding]:
+    """Flag direct file writes in the model-registry module.
+
+    Registry documents (``model.json``, ``manifest.json`` and above all
+    the ``current`` promotion pointer) are followed by live serving
+    processes; a non-atomic write lets a concurrent reader observe a
+    truncated or half-flipped document.  Route every persisted byte
+    through ``atomic_write_bytes`` (``save_models`` already does).
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DIRECT_WRITE_METHODS
+        ):
+            yield module.finding(
+                node,
+                f"{node.func.attr}() writes the registry in place; a "
+                f"concurrent ModelHub can read a torn document — use "
+                f"atomic_write_bytes (temp file + rename)",
+            )
+            continue
+        name = dotted_name(node.func)
+        if name in ("open", "io.open", "os.open"):
+            mode = _open_write_mode(node)
+            if mode:
+                yield module.finding(
+                    node,
+                    f"open(..., {mode!r}) writes the registry in place; a "
+                    f"concurrent ModelHub can read a torn document — use "
+                    f"atomic_write_bytes (temp file + rename)",
+                )

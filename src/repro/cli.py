@@ -156,7 +156,10 @@ def _cmd_train(args) -> int:
     sweep = run_sweep(profile=args.profile, engine=engine, domain=args.domain)
     registry = ModelRegistry(args.save)
     model_path = registry.save(
-        sweep.models, domain=args.domain, profile=args.profile
+        sweep.models,
+        domain=args.domain,
+        profile=args.profile,
+        evaluation=sweep.test_report.summary(),
     )
     report = sweep.test_report
     print(
@@ -297,6 +300,8 @@ def _cmd_serve_daemon(args) -> int:
             cache_dir=args.cache_dir,
             iterations=args.iterations,
             log_dir=args.log_dir,
+            feedback_dir=args.feedback_dir,
+            drift_threshold=args.drift_threshold,
             options=options or None,
         )
         service = ServingService(config)
@@ -379,6 +384,63 @@ def _cmd_serve(args) -> int:
         f"cache-hits={stats.ingest_cache_hits} jobs={jobs}"
     )
     print(f"wrote {paths['data']} and {paths['manifest']}")
+    if args.measure:
+        from repro.serving.feedback import (
+            feedback_from_corpus,
+            write_feedback_artifact,
+        )
+
+        try:
+            feedback = feedback_from_corpus(
+                artifact.models,
+                sources,
+                domain=domain,
+                iterations=1 if args.iterations is None else args.iterations,
+                cache_dir=cache_dir,
+                options=options,
+            )
+        except (IngestError, ValueError) as error:
+            raise SystemExit(f"repro: error: {error}") from None
+        print(feedback.render())
+        feedback_paths = write_feedback_artifact(
+            feedback, Path(args.out_dir) / "feedback", model_info=model_info
+        )
+        print(
+            f"wrote {feedback_paths['data']} and {feedback_paths['manifest']}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Shadow-scored promotion: repro promote
+# ----------------------------------------------------------------------
+def _cmd_promote(args) -> int:
+    """Retrain on measured feedback and shadow-score against the incumbent."""
+    from repro.serving.artifacts import ModelArtifactError
+    from repro.serving.promotion import PROMOTION_FILE_NAME, promote_from_feedback
+    from repro.serving.registry import ModelRegistry
+
+    engine = _resolve_engine(args)
+    registry = ModelRegistry(args.registry)
+    try:
+        result = promote_from_feedback(
+            registry,
+            args.feedback,
+            domain=args.domain,
+            profile=args.profile,
+            engine=engine,
+            dry_run=args.dry_run,
+            out_dir=args.out_dir,
+        )
+    except (ModelArtifactError, ValueError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    print(result.render())
+    if result.promoted:
+        print(f"current pointer: {result.pointer_path}")
+    if args.out_dir:
+        print(f"wrote {Path(args.out_dir) / PROMOTION_FILE_NAME}")
+    if engine is not None:
+        print(_engine_status_line(engine))
     return 0
 
 
@@ -638,6 +700,12 @@ def build_parser() -> argparse.ArgumentParser:
         "spmm); may be repeated",
     )
     serve.add_argument(
+        "--measure", action="store_true",
+        help="after serving, re-benchmark the corpus on every kernel and "
+        "score each decision against the oracle; writes feedback.csv + "
+        "manifest.json under OUT_DIR/feedback/ (one-shot mode only)",
+    )
+    serve.add_argument(
         "--daemon", action="store_true",
         help="run the persistent serving daemon (dynamic batching, warm "
         "caches, HTTP API) instead of a one-shot corpus pass",
@@ -667,8 +735,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-dir", default=None, metavar="DIR",
         help="daemon run directory for requests.log + summary.json",
     )
+    serve.add_argument(
+        "--feedback-dir", default=None, metavar="DIR",
+        help="daemon drift monitoring: directory of feedback artifacts "
+        "(repro serve --measure output) compared against the model's "
+        "training-time evaluation in /metrics and summary.json",
+    )
+    serve.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="X",
+        help="degradation fraction that flags drift (default: 0.1)",
+    )
     _add_engine_options(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    promote = sub.add_parser(
+        "promote",
+        help="retrain on measured feedback, shadow-score the candidate "
+        "against the incumbent on held-out feedback rows, and flip the "
+        "registry's current pointer only when the candidate wins",
+    )
+    promote.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="model-registry root holding the incumbent (repro train --save)",
+    )
+    promote.add_argument(
+        "--feedback", required=True, metavar="PATH",
+        help="feedback.csv from `repro serve --measure` (or its directory)",
+    )
+    _add_profile(promote)
+    _add_domain(promote)
+    _add_engine_options(promote)
+    promote.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="directory for the promotion.json decision record",
+    )
+    promote.add_argument(
+        "--dry-run", action="store_true",
+        help="run the full shadow comparison but write nothing to the "
+        "registry (no candidate artifact, no pointer flip)",
+    )
+    promote.set_defaults(func=_cmd_promote)
 
     bench = sub.add_parser(
         "bench", help="serving benchmarks (closed-loop load generation)"

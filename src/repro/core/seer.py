@@ -59,13 +59,40 @@ def _load_features(features_or_path):
     return features_or_path
 
 
+def _check_kernel_columns(name: str, table: str, row: dict, expected: set) -> None:
+    """Raise when one matrix's kernel columns disagree with the first matrix's.
+
+    The suite's ``kernel_names`` come from the first runtime row; every other
+    row must carry exactly the same kernel set, or downstream lookups
+    (``kernel_total_ms``, training labels) would silently KeyError or drop
+    kernels depending on which matrix they touch first.
+    """
+    actual = set(row)
+    if actual == expected:
+        return
+    missing = sorted(expected - actual)
+    extra = sorted(actual - expected)
+    parts = []
+    if missing:
+        parts.append(f"missing {missing}")
+    if extra:
+        parts.append(f"unexpected {extra}")
+    raise ValueError(
+        f"matrix {name!r}: {table} table kernels disagree with the suite's "
+        f"kernel set {sorted(expected)}: {', '.join(parts)}"
+    )
+
+
 def suite_from_tables(
     runtime, preprocessing_data, features, known, domain=None
 ) -> BenchmarkSuite:
     """Assemble a :class:`BenchmarkSuite` from the four pipeline tables.
 
     The feature columns are interpreted by ``domain`` (default ``"spmv"``);
-    any registered domain's CSV artifacts round-trip through here.
+    any registered domain's CSV artifacts round-trip through here.  Every
+    matrix must report the same kernel set as the first one — a missing or
+    extra kernel column raises a labelled :class:`ValueError` naming the
+    matrix and the mismatched kernels.
     """
     domain = get_domain(domain)
     runtime = _load_table(runtime)
@@ -77,10 +104,15 @@ def suite_from_tables(
     if not names:
         raise ValueError("the runtime table is empty")
     kernel_names = sorted(runtime[names[0]])
+    expected = set(kernel_names)
     measurements = []
     for name in names:
         if name not in preprocessing_data or name not in features or name not in known:
             raise KeyError(f"matrix {name!r} missing from one of the input tables")
+        _check_kernel_columns(name, "runtime", runtime[name], expected)
+        _check_kernel_columns(
+            name, "preprocessing", preprocessing_data[name], expected
+        )
         gathered_values, collection_time = features[name]
         known_values, _ = known[name]
         measurements.append(

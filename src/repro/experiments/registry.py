@@ -253,6 +253,7 @@ class ExperimentContext:
                     domain=self.domain,
                     profile=self.profile,
                     device=self.device,
+                    evaluation=self._sweep.test_report.summary(),
                 )
         return self._sweep
 
@@ -346,6 +347,24 @@ class ExperimentContext:
             self.corpus_records(options=options),
             device=self.device,
             domain=self.domain,
+        )
+
+    def corpus_feedback(self, models=None, options=None, iterations: int = 1):
+        """Measured serving feedback over the ingested corpus.
+
+        Re-benchmarks the corpus on every kernel (through
+        :meth:`corpus_suite`, so the ingest and engine caches apply) and
+        scores ``models`` — the context's own registry-first models when
+        omitted — against the oracle.  The returned
+        :class:`~repro.serving.feedback.FeedbackResult` is what
+        ``repro serve --measure`` writes and ``repro promote`` consumes.
+        """
+        from repro.serving.feedback import measure_feedback
+
+        if models is None:
+            models = self.models()
+        return measure_feedback(
+            models, self.corpus_suite(options=options), iterations=iterations
         )
 
 

@@ -383,7 +383,10 @@ def load_artifact(path, domain=None) -> ModelArtifact:
         path = path / MODEL_FILE_NAME
     try:
         text = path.read_text(encoding="utf-8")
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
+        # A torn write can leave bytes that are not even valid UTF-8, which
+        # raises before json.loads ever runs — treat it like any other
+        # unreadable artifact.
         raise ModelArtifactError(f"cannot read model artifact {path}: {exc}") from exc
     try:
         payload = json.loads(text)

@@ -1,0 +1,339 @@
+"""Shadow-scored model promotion: feedback in, better model out — maybe.
+
+The measured-feedback stage (:mod:`repro.serving.feedback`) tells us how
+the deployed selector actually performed on served traffic.  This module
+turns that signal into a guarded retraining loop:
+
+1. the feedback rows are split deterministically — even rows join the
+   training corpus, odd rows form the *held-out shadow set* no model
+   trains on;
+2. a candidate is retrained on sweep-corpus + feedback-train rows and
+   registered **side by side** with the incumbent (its key is a content
+   hash of parent key, feedback digest and training config — never the
+   incumbent's slot);
+3. incumbent and candidate are shadow-scored on the same held-out set;
+4. only when the candidate *wins* (strictly lower slowdown vs the oracle;
+   equal slowdown broken by higher selector accuracy) does the registry's
+   ``current`` pointer flip — atomically, via
+   :meth:`~repro.serving.registry.ModelRegistry.promote` — and the serving
+   daemon's :class:`~repro.serving.service.ModelHub` hot-reloads it on the
+   next request.  A losing candidate stays in the registry as an audit
+   record, and serving never changes.
+
+Everything the decision was based on is written to ``promotion.json`` so a
+refused promotion is as inspectable as an accepted one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.bench.engine import stable_hash
+from repro.bench.evaluation import evaluate_dataset
+from repro.bench.runner import DEFAULT_SEED, DEFAULT_SPLIT_SEED, run_sweep
+from repro.core.dataset import DEFAULT_ITERATION_COUNTS, TrainingDataset
+from repro.core.training import TrainingConfig, train_seer_models
+from repro.domains import get_domain
+from repro.domains.base import jsonable
+from repro.gpu.device import MI100, DeviceSpec
+from repro.serving.artifacts import ModelArtifactError, load_artifact
+from repro.serving.feedback import FeedbackResult, load_feedback_dataset
+from repro.serving.registry import ModelRegistry, _profile_name
+
+#: File name of the promotion decision record.
+PROMOTION_FILE_NAME = "promotion.json"
+
+#: Format version of candidate keys and the promotion record.
+PROMOTION_FORMAT_VERSION = 1
+
+#: Minimum feedback rows for a meaningful train/shadow split.
+MIN_FEEDBACK_ROWS = 2
+
+
+@dataclass
+class ShadowScore:
+    """One model's evaluation over the held-out feedback slice."""
+
+    key: str
+    summary: dict
+
+    @property
+    def slowdown(self) -> float:
+        return float(self.summary["selector_slowdown_vs_oracle"])
+
+    @property
+    def accuracy(self) -> float:
+        return float(self.summary["selector_kernel_accuracy"])
+
+
+@dataclass
+class PromotionResult:
+    """Outcome of one promotion attempt, win or lose."""
+
+    domain_name: str
+    profile: str
+    incumbent: ShadowScore
+    candidate: ShadowScore
+    candidate_wins: bool
+    promoted: bool
+    dry_run: bool
+    reason: str
+    appended_rows: int
+    holdout_rows: int
+    pointer_path: Optional[Path] = None
+
+    def to_manifest(self) -> dict:
+        """The decision record written as ``promotion.json`` (JSON-able)."""
+        return {
+            "format_version": PROMOTION_FORMAT_VERSION,
+            "domain": self.domain_name,
+            "profile": self.profile,
+            "incumbent": {
+                "key": self.incumbent.key,
+                "shadow": jsonable(self.incumbent.summary),
+            },
+            "candidate": {
+                "key": self.candidate.key,
+                "shadow": jsonable(self.candidate.summary),
+            },
+            "candidate_wins": self.candidate_wins,
+            "promoted": self.promoted,
+            "dry_run": self.dry_run,
+            "reason": self.reason,
+            "appended_rows": self.appended_rows,
+            "holdout_rows": self.holdout_rows,
+        }
+
+    def render(self) -> str:
+        """Console summary of the shadow comparison and the verdict."""
+        lines = [
+            f"shadow-scored {self.holdout_rows} held-out feedback row(s) "
+            f"({self.appended_rows} appended to training)",
+            f"  incumbent {self.incumbent.key[:16]}…: "
+            f"slowdown {self.incumbent.slowdown:.4f}x, "
+            f"accuracy {self.incumbent.accuracy:.2f}",
+            f"  candidate {self.candidate.key[:16]}…: "
+            f"slowdown {self.candidate.slowdown:.4f}x, "
+            f"accuracy {self.candidate.accuracy:.2f}",
+        ]
+        lines.append(self.reason)
+        return "\n".join(lines)
+
+
+def split_feedback(dataset: TrainingDataset):
+    """Deterministic interleaved split: (train-append rows, shadow rows).
+
+    Even indices feed retraining, odd indices stay held out — stable
+    across runs so a re-run of ``repro promote`` on the same feedback
+    artifact reproduces the same decision.
+    """
+    if len(dataset) < MIN_FEEDBACK_ROWS:
+        raise ValueError(
+            f"promotion needs at least {MIN_FEEDBACK_ROWS} feedback rows "
+            f"(got {len(dataset)}): one to retrain on, one to shadow-score"
+        )
+    indices = range(len(dataset))
+    return (
+        dataset.subset([i for i in indices if i % 2 == 0]),
+        dataset.subset([i for i in indices if i % 2 == 1]),
+    )
+
+
+def shadow_score(key: str, models, holdout: TrainingDataset) -> ShadowScore:
+    """Evaluate one model over the held-out feedback slice."""
+    return ShadowScore(key=key, summary=evaluate_dataset(holdout, models).summary())
+
+
+def candidate_key_for(
+    incumbent_key: str, feedback: TrainingDataset, config: Optional[TrainingConfig]
+) -> str:
+    """Content hash identifying a retrained candidate.
+
+    Derived from the parent key, a digest of the exact feedback rows and
+    the training config — the same feedback against the same incumbent
+    always lands on the same registry slot, and never on the incumbent's.
+    """
+    rows = [
+        (
+            sample.name,
+            int(sample.iterations),
+            [float(v) for v in sample.known_vector],
+            [float(v) for v in sample.gathered_vector],
+            float(sample.collection_time_ms),
+            sorted((k, float(v)) for k, v in sample.kernel_total_ms.items()),
+            sample.best_kernel,
+        )
+        for sample in feedback.samples
+    ]
+    return stable_hash(
+        {
+            "format": PROMOTION_FORMAT_VERSION,
+            "parent": incumbent_key,
+            "feedback": rows,
+            "config": asdict(config or TrainingConfig()),
+        }
+    )
+
+
+def _merge_datasets(
+    base: TrainingDataset, extra: TrainingDataset
+) -> TrainingDataset:
+    """Append feedback samples to the sweep corpus, kernel sets validated."""
+    if list(base.kernel_names) != list(extra.kernel_names):
+        raise ValueError(
+            f"feedback kernel set {list(extra.kernel_names)} disagrees with "
+            f"the training corpus kernel set {list(base.kernel_names)}; "
+            "was the feedback measured under a different domain or kernel "
+            "configuration?"
+        )
+    return TrainingDataset(
+        kernel_names=list(base.kernel_names),
+        samples=list(base.samples) + list(extra.samples),
+        known_feature_names=base.known_feature_names,
+        gathered_feature_names=base.gathered_feature_names,
+    )
+
+
+def promote_from_feedback(
+    registry: ModelRegistry,
+    feedback,
+    domain=None,
+    profile: str = "small",
+    device: DeviceSpec = MI100,
+    iteration_counts=DEFAULT_ITERATION_COUNTS,
+    seed: int = DEFAULT_SEED,
+    split_seed: int = DEFAULT_SPLIT_SEED,
+    config: Optional[TrainingConfig] = None,
+    engine=None,
+    dry_run: bool = False,
+    out_dir=None,
+) -> PromotionResult:
+    """Retrain on feedback, shadow-score against the incumbent, maybe flip.
+
+    ``feedback`` is a :class:`~repro.serving.feedback.FeedbackResult`, a
+    :class:`~repro.core.dataset.TrainingDataset`, or a path to a
+    ``feedback.csv``/its directory.  The incumbent is whatever serving
+    resolves today: the ``current`` pointer when set, else the default
+    config-hash artifact.  With ``dry_run`` the whole comparison runs but
+    nothing is written to the registry.  When ``out_dir`` is given the
+    decision record lands there as ``promotion.json`` either way.
+    """
+    domain = get_domain(domain)
+    profile = _profile_name(profile)
+    if isinstance(feedback, FeedbackResult):
+        feedback_dataset = feedback.dataset
+    elif isinstance(feedback, TrainingDataset):
+        feedback_dataset = feedback
+    else:
+        feedback_dataset = load_feedback_dataset(feedback, domain=domain)
+
+    incumbent_key = registry.resolve_current(domain, profile)
+    if incumbent_key is None:
+        incumbent_key = registry.key_for(
+            domain=domain,
+            profile=profile,
+            device=device,
+            iteration_counts=iteration_counts,
+            seed=seed,
+            split_seed=split_seed,
+            config=config,
+        )
+    incumbent_path = (
+        registry.artifact_dir(domain, profile, incumbent_key) / "model.json"
+    )
+    if not incumbent_path.is_file():
+        raise ModelArtifactError(
+            f"no incumbent model for {domain.name}/{profile} (key "
+            f"{incumbent_key}) under {registry.root}; run `repro train "
+            f"--save` first so promotion has something to beat"
+        )
+    incumbent_models = load_artifact(incumbent_path, domain=domain).models
+
+    append_rows, holdout = split_feedback(feedback_dataset)
+
+    sweep = run_sweep(
+        profile=profile,
+        iteration_counts=iteration_counts,
+        device=device,
+        seed=seed,
+        split_seed=split_seed,
+        config=config,
+        engine=engine,
+        domain=domain,
+    )
+    combined = _merge_datasets(sweep.train_set, append_rows)
+    candidate_models = train_seer_models(combined, config)
+    candidate_key = candidate_key_for(incumbent_key, feedback_dataset, config)
+
+    incumbent_score = shadow_score(incumbent_key, incumbent_models, holdout)
+    candidate_score = shadow_score(candidate_key, candidate_models, holdout)
+
+    wins = candidate_score.slowdown < incumbent_score.slowdown or (
+        candidate_score.slowdown == incumbent_score.slowdown
+        and candidate_score.accuracy > incumbent_score.accuracy
+    )
+    if wins:
+        reason = (
+            f"candidate wins: shadow slowdown {candidate_score.slowdown:.4f}x "
+            f"beats incumbent {incumbent_score.slowdown:.4f}x"
+            + (" (dry run: pointer not flipped)" if dry_run else "; promoted")
+        )
+    else:
+        reason = (
+            f"candidate refused: shadow slowdown {candidate_score.slowdown:.4f}x "
+            f"does not beat incumbent {incumbent_score.slowdown:.4f}x; "
+            "serving keeps the incumbent"
+        )
+
+    pointer_path = None
+    if not dry_run:
+        registry.save(
+            candidate_models,
+            domain=domain,
+            profile=profile,
+            device=device,
+            iteration_counts=iteration_counts,
+            seed=seed,
+            split_seed=split_seed,
+            config=config,
+            key=candidate_key,
+            evaluation=candidate_score.summary,
+            extra={
+                "parent": incumbent_key,
+                "feedback_rows": len(append_rows),
+                "shadow_rows": len(holdout),
+                "promotion_candidate": True,
+            },
+        )
+        if wins:
+            pointer_path = registry.promote(
+                domain,
+                profile,
+                key=candidate_key,
+                extra={"parent": incumbent_key},
+            )
+
+    result = PromotionResult(
+        domain_name=domain.name,
+        profile=profile,
+        incumbent=incumbent_score,
+        candidate=candidate_score,
+        candidate_wins=wins,
+        promoted=wins and not dry_run,
+        dry_run=dry_run,
+        reason=reason,
+        appended_rows=len(append_rows),
+        holdout_rows=len(holdout),
+        pointer_path=pointer_path,
+    )
+    if out_dir is not None:
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / PROMOTION_FILE_NAME).write_text(
+            json.dumps(result.to_manifest(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return result

@@ -45,6 +45,12 @@ from repro.serving.artifacts import (
 #: File name of the provenance sidecar next to every ``model.json``.
 MANIFEST_FILE_NAME = "manifest.json"
 
+#: File name of the per-``<domain>/<profile>`` promotion pointer.  When
+#: present it names the key serving should prefer over the default
+#: config-hash key; ``repro promote`` flips it atomically after a candidate
+#: wins its shadow comparison.
+CURRENT_POINTER_FILE_NAME = "current.json"
+
 
 def _profile_name(profile) -> str:
     """Directory-friendly name of a profile (string or CollectionProfile)."""
@@ -97,6 +103,16 @@ class ModelRegistry:
         domain = get_domain(domain)
         return self.root / domain.name / _profile_name(profile) / key
 
+    def pointer_path(self, domain=None, profile: str = "small") -> Path:
+        """Location of the ``current`` promotion pointer for a family."""
+        domain = get_domain(domain)
+        return (
+            self.root
+            / domain.name
+            / _profile_name(profile)
+            / CURRENT_POINTER_FILE_NAME
+        )
+
     # ------------------------------------------------------------------
     # Save / load
     # ------------------------------------------------------------------
@@ -111,6 +127,9 @@ class ModelRegistry:
         split_seed: int = DEFAULT_SPLIT_SEED,
         config: Optional[TrainingConfig] = None,
         include_aux: bool = True,
+        key: Optional[str] = None,
+        evaluation: Optional[dict] = None,
+        extra: Optional[dict] = None,
     ) -> Path:
         """Persist ``models`` under its config hash; returns the model path.
 
@@ -118,18 +137,25 @@ class ModelRegistry:
         ``manifest.json`` sidecar recording the configuration and the
         source digest the key embeds.  Saving the same configuration twice
         overwrites in place with identical bytes.
+
+        ``key`` overrides the derived config hash — promotion uses this to
+        register retrained candidates side by side with the incumbent.
+        ``evaluation`` (typically ``test_report.summary()``) is recorded in
+        the manifest and becomes the drift monitor's baseline; ``extra``
+        merges additional provenance keys into the manifest.
         """
         domain = get_domain(domain)
-        key = self.key_for(
-            domain=domain,
-            profile=profile,
-            device=device,
-            iteration_counts=iteration_counts,
-            seed=seed,
-            split_seed=split_seed,
-            config=config,
-            include_aux=include_aux,
-        )
+        if key is None:
+            key = self.key_for(
+                domain=domain,
+                profile=profile,
+                device=device,
+                iteration_counts=iteration_counts,
+                seed=seed,
+                split_seed=split_seed,
+                config=config,
+                include_aux=include_aux,
+            )
         directory = self.artifact_dir(domain, profile, key)
         model_path = save_models(
             models,
@@ -152,6 +178,10 @@ class ModelRegistry:
             "kernels": list(models.kernel_names),
             "training_size": int(models.training_size),
         }
+        if evaluation is not None:
+            manifest["evaluation"] = dict(evaluation)
+        if extra:
+            manifest.update(extra)
         atomic_write_bytes(
             directory / MANIFEST_FILE_NAME,
             (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8"),
@@ -192,5 +222,84 @@ class ModelRegistry:
             return None
         try:
             return load_artifact(path, domain=domain).models
-        except ModelArtifactError:
+        except (ModelArtifactError, OSError, ValueError):
+            # OSError/ValueError cover failure modes load_artifact cannot
+            # normalize itself (e.g. the file vanishing between find() and
+            # the read, or a schema mismatch surfacing as a ValueError) —
+            # all of them are cache misses here, never crashes.
             return None
+
+    # ------------------------------------------------------------------
+    # Promotion: the ``current`` pointer
+    # ------------------------------------------------------------------
+    def promote(
+        self, domain=None, profile: str = "small", key: str = "", extra=None
+    ) -> Path:
+        """Atomically point ``<domain>/<profile>`` serving at ``key``.
+
+        The target artifact must exist — a pointer at a missing model would
+        brick every follower.  The pointer document is canonical JSON
+        written through :func:`~repro.bench.engine.atomic_write_bytes`, so
+        a reader never observes a torn flip.
+        """
+        domain = get_domain(domain)
+        if not key:
+            raise ValueError("promote() needs the key of a registered artifact")
+        model_path = self.artifact_dir(domain, profile, key) / MODEL_FILE_NAME
+        if not model_path.is_file():
+            raise ModelArtifactError(
+                f"cannot promote {domain.name}/{_profile_name(profile)} to "
+                f"{key}: no model.json at {model_path}"
+            )
+        payload = {
+            "format_version": MODEL_FORMAT_VERSION,
+            "domain": domain.name,
+            "profile": _profile_name(profile),
+            "key": key,
+        }
+        if extra:
+            payload.update(extra)
+        pointer = self.pointer_path(domain, profile)
+        atomic_write_bytes(
+            pointer,
+            (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        return pointer
+
+    def resolve_current(self, domain=None, profile: str = "small") -> Optional[str]:
+        """The promoted key of ``<domain>/<profile>``, or ``None``.
+
+        A missing, corrupt or dangling pointer (its target artifact gone)
+        resolves to ``None`` — followers then fall back to the default
+        config-hash key instead of failing to serve.
+        """
+        domain = get_domain(domain)
+        pointer = self.pointer_path(domain, profile)
+        try:
+            payload = json.loads(pointer.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        key = payload.get("key") if isinstance(payload, dict) else None
+        if not isinstance(key, str) or not key:
+            return None
+        model_path = self.artifact_dir(domain, profile, key) / MODEL_FILE_NAME
+        return key if model_path.is_file() else None
+
+    def current_model_path(
+        self, domain=None, profile: str = "small"
+    ) -> Optional[Path]:
+        """``model.json`` path of the promoted artifact, or ``None``."""
+        domain = get_domain(domain)
+        key = self.resolve_current(domain, profile)
+        if key is None:
+            return None
+        return self.artifact_dir(domain, profile, key) / MODEL_FILE_NAME
+
+    def manifest_for(self, domain, profile, key: str) -> Optional[dict]:
+        """The ``manifest.json`` sidecar of one artifact, or ``None``."""
+        path = self.artifact_dir(domain, profile, key) / MANIFEST_FILE_NAME
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None

@@ -157,6 +157,8 @@ _CONFIG_KEYS = frozenset(
         "iterations",
         "log_dir",
         "execute",
+        "feedback_dir",
+        "drift_threshold",
     }
 )
 
@@ -185,6 +187,8 @@ class ServiceConfig:
     iterations: int = 1
     log_dir: Optional[str] = None
     execute: bool = True
+    feedback_dir: Optional[str] = None
+    drift_threshold: float = 0.1
     options: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -206,6 +210,10 @@ class ServiceConfig:
         if int(self.iterations) < 1:
             raise ServiceConfigError(
                 f"iterations must be >= 1, got {self.iterations!r}"
+            )
+        if not float(self.drift_threshold) > 0:
+            raise ServiceConfigError(
+                f"drift_threshold must be > 0, got {self.drift_threshold!r}"
             )
 
     @classmethod
@@ -281,11 +289,16 @@ class ModelHub:
         domain = self.config.domain or "spmv"
         return f"{domain}/{self.config.profile}"
 
-    def _load(self, key: str):
-        from repro.serving.artifacts import ModelArtifactError, load_artifact
+    def _model_path(self, key: str) -> Path:
+        """The on-disk ``model.json`` a key currently maps to.
 
+        Registry keys resolve promotion-pointer first (the ``current.json``
+        a ``repro promote`` run flips), falling back to the default
+        config-hash artifact — so a promotion is picked up on the next
+        resolve, without restarting the daemon.
+        """
         if key == "default" and self.config.model is not None:
-            return load_artifact(self.config.model)
+            return Path(self.config.model)
         if self.registry is None:
             raise IngestError(
                 f"request selects model {key!r} but the service has no "
@@ -293,26 +306,43 @@ class ModelHub:
             )
         domain, _, profile = key.partition("/")
         profile = profile or self.config.profile
-        path = self.registry.find(domain=domain, profile=profile)
+        path = self.registry.current_model_path(domain=domain, profile=profile)
+        if path is None:
+            path = self.registry.find(domain=domain, profile=profile)
         if path is None:
             raise IngestError(
                 f"no model registered for {domain!r}/{profile!r} under "
                 f"{self.registry.root}"
             )
+        return path
+
+    def _load(self, key: str, path: Path):
+        from repro.serving.artifacts import ModelArtifactError, load_artifact
+
+        if key == "default" and self.config.model is not None:
+            return load_artifact(path)
         try:
             return load_artifact(path)
         except ModelArtifactError as error:
             raise IngestError(str(error)) from None
 
     def resolve(self, selector: Optional[str] = None):
-        """The loaded artifact for a request's model selector."""
+        """The loaded artifact for a request's model selector.
+
+        Artifacts cache per key, but the cache entry remembers which path
+        it was loaded from: when a promotion moves the key's ``current``
+        pointer, the next resolve sees the new path and hot-reloads.
+        """
         key = selector or ("default" if self.config.model is not None else None)
         if key is None:
             key = self.default_key
         with self._lock:
-            if key not in self._artifacts:
-                self._artifacts[key] = self._load(key)
-            return key, self._artifacts[key]
+            path = self._model_path(key)
+            entry = self._artifacts.get(key)
+            if entry is None or entry[0] != path:
+                entry = (path, self._load(key, path))
+                self._artifacts[key] = entry
+            return key, entry[1]
 
     def pipeline_for(self, artifact):
         """The warm feature pipeline of an artifact's domain."""
@@ -341,6 +371,9 @@ class ServiceMetrics:
     requests_total: int = 0
     responses_total: int = 0
     failures_total: int = 0
+    errors_total: int = 0
+    error_latency_ms_sum: float = 0.0
+    error_latency_ms_max: float = 0.0
     inline_requests: int = 0
     source_requests: int = 0
     matrices_ingested: int = 0
@@ -389,6 +422,17 @@ class ServiceMetrics:
                 self.latency_ms_sum += latency
                 self.latency_ms_max = max(self.latency_ms_max, latency)
 
+    def record_error(self, latency_ms: Optional[float] = None) -> None:
+        """Count one failed request; its latency stays out of the success
+        histogram and lands in the separate error bucket instead."""
+        with self._lock:
+            self.errors_total += 1
+            if latency_ms is not None:
+                self.error_latency_ms_sum += latency_ms
+                self.error_latency_ms_max = max(
+                    self.error_latency_ms_max, latency_ms
+                )
+
     def snapshot(self) -> dict:
         """Counters plus derived means/throughput, as one JSON document."""
         with self._lock:
@@ -399,6 +443,13 @@ class ServiceMetrics:
                 "requests_total": served,
                 "responses_total": self.responses_total,
                 "failures_total": self.failures_total,
+                "errors_total": self.errors_total,
+                "error_latency_ms_mean": (
+                    self.error_latency_ms_sum / self.errors_total
+                    if self.errors_total
+                    else 0.0
+                ),
+                "error_latency_ms_max": self.error_latency_ms_max,
                 "inline_requests": self.inline_requests,
                 "source_requests": self.source_requests,
                 "matrices_ingested": self.matrices_ingested,
@@ -589,7 +640,9 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 )
         elif self.path == "/metrics":
-            self._send_json(200, service.metrics.snapshot())
+            payload = service.metrics.snapshot()
+            payload["drift"] = service.drift_status()
+            self._send_json(200, payload)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -620,20 +673,26 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             request = ServeRequest.from_payload(payload)
         except IngestError as error:
+            latency_ms = (time.monotonic() - started) * 1000.0
             service.metrics.record_results(
                 [ServeFailure(name="request", error=str(error))],
                 _EMPTY_STATS,
                 [],
             )
+            service.metrics.record_error(latency_ms)
             self._send_json(400, {"error": str(error)})
             return
         result = service.batcher.submit(request)
         latency_ms = (time.monotonic() - started) * 1000.0
         service.log_request(result, latency_ms)
-        service.metrics.record_results([], _EMPTY_STATS, [latency_ms])
         if isinstance(result, ServeFailure):
+            # Failed requests must not pollute the success latency histogram
+            # — a burst of fast 400s would otherwise *improve* the reported
+            # service latency.
+            service.metrics.record_error(latency_ms)
             self._send_json(400, result.to_payload())
         else:
+            service.metrics.record_results([], _EMPTY_STATS, [latency_ms])
             self._send_json(200, result.to_payload())
 
     def _serve_many(self, service, payload) -> None:
@@ -651,16 +710,30 @@ class _Handler(BaseHTTPRequestHandler):
                     ServeRequest.from_payload(item, origin="requests", line=index)
                 )
             except IngestError as error:
-                requests.append(
-                    ServeFailure(name=f"requests[{index}]", error=str(error))
+                failure = ServeFailure(
+                    name=f"requests[{index}]", error=str(error)
                 )
+                # Pre-failed slots never reach evaluate_requests, so count
+                # them here or they vanish from requests/failures entirely.
+                service.metrics.record_results([failure], _EMPTY_STATS, [])
+                requests.append(failure)
         # A client-assembled list is already a batch: serve it as one window
         # instead of trickling it through the admission queue.
         results = service.evaluate_batch(requests, reason="full")
         latency_ms = (time.monotonic() - started) * 1000.0
+        share_ms = latency_ms / max(len(results), 1)
+        failed = 0
         for result in results:
-            service.log_request(result, latency_ms / max(len(results), 1))
-        service.metrics.record_results([], _EMPTY_STATS, [latency_ms])
+            service.log_request(result, share_ms)
+            if isinstance(result, ServeFailure):
+                failed += 1
+        # Each failed slot's latency share lands in the error bucket; the
+        # batch counts toward the success histogram only if something in it
+        # actually succeeded.
+        for _ in range(failed):
+            service.metrics.record_error(share_ms)
+        if failed < len(results):
+            service.metrics.record_results([], _EMPTY_STATS, [latency_ms])
         self._send_json(
             200,
             {
@@ -748,6 +821,9 @@ class ServingService:
                 results[index] = ServeFailure(
                     name=request.name or f"request[{index}]", error=str(error)
                 )
+                # Model-resolution failures bypass evaluate_requests; count
+                # them so the request/failure totals stay exhaustive.
+                self.metrics.record_results([results[index]], _EMPTY_STATS, [])
                 continue
             groups.setdefault(key, ([], []))
             groups[key][0].append(index)
@@ -777,6 +853,65 @@ class ServingService:
     def serve_request(self, request: ServeRequest):
         """Python-API entry point: one request through the admission batcher."""
         return self.batcher.submit(request)
+
+    # ------------------------------------------------------------------
+    # Drift monitoring
+    # ------------------------------------------------------------------
+    def _drift_baseline(self) -> Optional[dict]:
+        """Training-time evaluation summary of the default model, if any.
+
+        Registered artifacts carry it in their ``manifest.json`` sidecar
+        (``registry.save(evaluation=...)``); an explicit ``model`` path
+        is covered when it sits next to such a sidecar.
+        """
+        try:
+            _, artifact = self.hub.resolve(None)
+        except IngestError:
+            return None
+        path = getattr(artifact, "path", None)
+        if path is None:
+            return None
+        manifest_path = Path(path).parent / "manifest.json"
+        try:
+            payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        evaluation = payload.get("evaluation") if isinstance(payload, dict) else None
+        return evaluation if isinstance(evaluation, dict) else None
+
+    def drift_status(self) -> dict:
+        """Live-traffic drift report for ``/metrics`` and ``summary.json``.
+
+        Scans the configured ``feedback_dir`` for feedback-artifact
+        manifests (each one a ``repro serve --measure`` run over real
+        traffic) and compares their rolling metrics against the model's
+        training-time evaluation summary, flagging degradation beyond
+        ``drift_threshold``.
+        """
+        from repro.serving.feedback import DriftMonitor
+
+        if self.config.feedback_dir is None:
+            return {"enabled": False}
+        monitor = DriftMonitor(
+            baseline=self._drift_baseline(),
+            threshold=self.config.drift_threshold,
+        )
+        root = Path(self.config.feedback_dir)
+        manifests = []
+        if (root / "manifest.json").is_file():
+            manifests.append(root / "manifest.json")
+        manifests.extend(sorted(root.glob("*/manifest.json")))
+        for manifest_path in manifests:
+            try:
+                payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            summary = payload.get("summary") if isinstance(payload, dict) else None
+            if isinstance(summary, dict):
+                monitor.observe(summary)
+        status = monitor.status()
+        status["enabled"] = True
+        return status
 
     def log_request(self, result, latency_ms: float) -> None:
         """Append one served decision to the run's JSONL request log."""
@@ -874,6 +1009,7 @@ class ServingService:
                 "execute": self.config.execute,
             },
             "metrics": self.metrics.snapshot(),
+            "drift": self.drift_status(),
         }
 
     def __enter__(self) -> "ServingService":

@@ -66,6 +66,44 @@ def test_suite_from_tables_validates_membership(tiny_sweep):
         suite_from_tables(runtime, preprocessing, features, known)
 
 
+def test_suite_from_tables_rejects_missing_kernel_column(tiny_sweep):
+    """A matrix silently missing one kernel must raise, naming the matrix."""
+    runtime, preprocessing, features, known = _tables_from_suite(tiny_sweep.suite)
+    victim = sorted(runtime)[1]  # not the first: its kernels set the standard
+    dropped = sorted(runtime[victim])[0]
+    del runtime[victim][dropped]
+    with pytest.raises(ValueError) as excinfo:
+        suite_from_tables(runtime, preprocessing, features, known)
+    message = str(excinfo.value)
+    assert victim in message and dropped in message
+    assert "runtime" in message and "missing" in message
+
+
+def test_suite_from_tables_rejects_extra_kernel_column(tiny_sweep):
+    """A matrix with an unknown extra kernel must raise, naming both."""
+    runtime, preprocessing, features, known = _tables_from_suite(tiny_sweep.suite)
+    victim = sorted(runtime)[-1]
+    runtime[victim]["mystery_kernel"] = 1.0
+    with pytest.raises(ValueError) as excinfo:
+        suite_from_tables(runtime, preprocessing, features, known)
+    message = str(excinfo.value)
+    assert victim in message and "mystery_kernel" in message
+    assert "unexpected" in message
+
+
+def test_suite_from_tables_rejects_preprocessing_kernel_mismatch(tiny_sweep):
+    """The preprocessing table is validated too, not just runtime."""
+    runtime, preprocessing, features, known = _tables_from_suite(tiny_sweep.suite)
+    victim = sorted(preprocessing)[1]
+    dropped = sorted(preprocessing[victim])[-1]
+    del preprocessing[victim][dropped]
+    with pytest.raises(ValueError) as excinfo:
+        suite_from_tables(runtime, preprocessing, features, known)
+    message = str(excinfo.value)
+    assert victim in message and dropped in message
+    assert "preprocessing" in message
+
+
 def test_suite_from_tables_reconstructs_features(tiny_sweep):
     runtime, preprocessing, features, known = _tables_from_suite(tiny_sweep.suite)
     suite = suite_from_tables(runtime, preprocessing, features, known)

@@ -281,3 +281,35 @@ def test_registry_resave_is_byte_identical(tiny_sweep, tmp_path):
     registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
     assert path.read_bytes() == first
     assert (path.parent / MANIFEST_FILE_NAME).read_bytes() == manifest_first
+
+
+def test_unreadable_artifact_raises_clear_error(tiny_sweep, tmp_path):
+    """Bytes that are not even UTF-8 (a torn write) must raise the
+    artifact error, not leak a UnicodeDecodeError."""
+    registry = ModelRegistry(tmp_path)
+    path = registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
+    path.write_bytes(b"\xff\xfe\x00 definitely not utf-8 json \x80")
+    with pytest.raises(ModelArtifactError, match="cannot read model artifact"):
+        load_artifact(path)
+
+
+def test_registry_treats_unreadable_entry_as_miss(tiny_sweep, tmp_path):
+    """load_or_none must swallow a torn/unreadable model.json as a miss."""
+    registry = ModelRegistry(tmp_path)
+    path = registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
+    path.write_bytes(b"\xff\xfe\x00 torn write \x80")
+    assert registry.load_or_none(domain="spmv", profile="tiny") is None
+
+
+def test_registry_treats_read_oserror_as_miss(
+    tiny_sweep, tmp_path, monkeypatch
+):
+    """An OSError surfacing mid-read (file vanished, I/O error) is a miss."""
+    registry = ModelRegistry(tmp_path)
+    registry.save(tiny_sweep.models, domain="spmv", profile="tiny")
+
+    def explode(self, *args, **kwargs):
+        raise OSError("simulated I/O error")
+
+    monkeypatch.setattr(Path, "read_text", explode)
+    assert registry.load_or_none(domain="spmv", profile="tiny") is None

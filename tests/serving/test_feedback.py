@@ -1,0 +1,272 @@
+"""Measured-feedback tests: scoring, artifact stability, loading, drift.
+
+The golden ``goldens/feedback.csv`` pins the feedback artifact of a fixed
+synthetic corpus served by the tiny SpMV models byte for byte; regenerate
+after an *intentional* change with::
+
+    SEER_UPDATE_GOLDENS=1 python -m pytest tests/serving/test_feedback.py
+"""
+
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serving.feedback import (
+    FEEDBACK_FILE_NAME,
+    FEEDBACK_MANIFEST_FILE_NAME,
+    DriftMonitor,
+    feedback_from_corpus,
+    load_feedback_dataset,
+    measure_feedback,
+    write_feedback_artifact,
+)
+from repro.sparse.generators import (
+    banded_matrix,
+    power_law_matrix,
+    regular_matrix,
+)
+from repro.sparse.io import write_matrix_market
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_FEEDBACK = GOLDEN_DIR / "feedback.csv"
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("feedback-corpus")
+    write_matrix_market(
+        power_law_matrix(200, 200, 5.0, rng=3), directory / "pl.mtx"
+    )
+    write_matrix_market(banded_matrix(128, 7, rng=1), directory / "band.mtx")
+    write_matrix_market(regular_matrix(96, 96, 4, rng=2), directory / "reg.mtx")
+    return directory
+
+
+@pytest.fixture(scope="module")
+def feedback(tiny_sweep, corpus):
+    return feedback_from_corpus(
+        tiny_sweep.models, corpus, domain="spmv", iterations=3
+    )
+
+
+# ----------------------------------------------------------------------
+# Scoring
+# ----------------------------------------------------------------------
+def test_feedback_scores_every_served_workload(tiny_sweep, feedback):
+    assert len(feedback) == 3
+    assert [s.name for s in feedback.dataset.samples] == [
+        r.name for r in feedback.report.rows
+    ]
+    kernel_names = set(tiny_sweep.models.kernel_names)
+    for row in feedback.report.rows:
+        assert row.oracle_kernel in kernel_names
+        assert row.selector_kernel in kernel_names
+        assert row.selector_ms >= row.oracle_ms  # oracle is the floor
+
+
+def test_feedback_summary_has_the_drift_and_promotion_keys(feedback):
+    summary = feedback.summary()
+    assert summary["samples"] == 3
+    assert summary["iterations"] == 3
+    assert 0.0 <= summary["selector_kernel_accuracy"] <= 1.0
+    assert summary["selector_slowdown_vs_oracle"] >= 1.0
+    assert summary["regret"] >= 0.0  # selector can only lose time vs oracle
+    record = summary["kernel_record"]
+    assert set(record) == {"wins", "losses"}
+    assert sum(record["wins"].values()) + sum(record["losses"].values()) == 3
+    wins = sum(
+        1
+        for row in feedback.report.rows
+        if row.selector_kernel == row.oracle_kernel
+    )
+    assert sum(record["wins"].values()) == wins
+
+
+def test_measure_feedback_rejects_degenerate_inputs(tiny_sweep, corpus):
+    with pytest.raises(ValueError, match="iterations"):
+        feedback_from_corpus(
+            tiny_sweep.models, corpus, domain="spmv", iterations=0
+        )
+    from repro.core.benchmarking import BenchmarkSuite
+
+    empty = BenchmarkSuite(
+        kernel_names=list(tiny_sweep.suite.kernel_names), measurements=[]
+    )
+    with pytest.raises(ValueError, match="empty corpus"):
+        measure_feedback(tiny_sweep.models, empty)
+
+
+def test_render_names_every_workload(feedback):
+    text = feedback.render()
+    for row in feedback.report.rows:
+        assert row.name in text
+    assert "regret" in text
+
+
+# ----------------------------------------------------------------------
+# The artifact: byte stability and the golden
+# ----------------------------------------------------------------------
+def test_feedback_artifact_is_byte_stable(feedback, tiny_sweep, corpus, tmp_path):
+    first = write_feedback_artifact(feedback, tmp_path / "a")
+    again = feedback_from_corpus(
+        tiny_sweep.models, corpus, domain="spmv", iterations=3
+    )
+    second = write_feedback_artifact(again, tmp_path / "b")
+    assert first["data"].read_bytes() == second["data"].read_bytes()
+    assert first["manifest"].read_bytes() == second["manifest"].read_bytes()
+
+
+def test_feedback_artifact_matches_golden(feedback, tmp_path):
+    paths = write_feedback_artifact(feedback, tmp_path)
+    csv_bytes = paths["data"].read_bytes()
+    if os.environ.get("SEER_UPDATE_GOLDENS"):
+        GOLDEN_FEEDBACK.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_FEEDBACK.write_bytes(csv_bytes)
+        pytest.skip(f"regenerated golden {GOLDEN_FEEDBACK.name}")
+    assert GOLDEN_FEEDBACK.exists(), (
+        f"missing golden {GOLDEN_FEEDBACK}; regenerate with "
+        "SEER_UPDATE_GOLDENS=1"
+    )
+    assert csv_bytes == GOLDEN_FEEDBACK.read_bytes(), (
+        "feedback artifact drifted from its golden; if the change is "
+        "intentional, regenerate with SEER_UPDATE_GOLDENS=1"
+    )
+
+
+def test_feedback_manifest_records_summary_and_model(feedback, tmp_path):
+    paths = write_feedback_artifact(
+        feedback, tmp_path, model_info={"kernels": ["a", "b"]}
+    )
+    manifest = json.loads(paths["manifest"].read_text())
+    assert manifest["experiment"] == "feedback"
+    assert manifest["row_count"] == 3
+    assert manifest["iterations"] == 3
+    assert manifest["domain"]["name"] == "spmv"
+    assert manifest["model"] == {"kernels": ["a", "b"]}
+    assert (
+        manifest["summary"]["selector_kernel_accuracy"]
+        == feedback.summary()["selector_kernel_accuracy"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Loading feedback back as training data
+# ----------------------------------------------------------------------
+def test_loaded_feedback_round_trips_exactly(feedback, tmp_path):
+    write_feedback_artifact(feedback, tmp_path)
+    loaded = load_feedback_dataset(tmp_path)  # domain from the manifest
+    original = feedback.dataset
+    assert list(loaded.kernel_names) == list(original.kernel_names)
+    assert len(loaded) == len(original)
+    for ours, theirs in zip(original.samples, loaded.samples):
+        assert ours.name == theirs.name
+        assert ours.iterations == theirs.iterations
+        assert ours.best_kernel == theirs.best_kernel
+        assert ours.collection_time_ms == theirs.collection_time_ms
+        np.testing.assert_array_equal(ours.known_vector, theirs.known_vector)
+        np.testing.assert_array_equal(
+            ours.gathered_vector, theirs.gathered_vector
+        )
+        assert ours.kernel_total_ms == theirs.kernel_total_ms  # inf included
+
+
+def test_load_feedback_requires_domain_or_manifest(feedback, tmp_path):
+    paths = write_feedback_artifact(feedback, tmp_path)
+    (tmp_path / FEEDBACK_MANIFEST_FILE_NAME).unlink()
+    with pytest.raises(ValueError, match="pass domain= explicitly"):
+        load_feedback_dataset(tmp_path)
+    loaded = load_feedback_dataset(paths["data"], domain="spmv")
+    assert len(loaded) == 3
+
+
+def test_load_feedback_rejects_foreign_tables(tmp_path):
+    path = tmp_path / FEEDBACK_FILE_NAME
+    path.write_text("name,rows\nw,1.0\n")
+    with pytest.raises(ValueError, match="not a spmv feedback table"):
+        load_feedback_dataset(path, domain="spmv")
+
+
+def test_load_feedback_rejects_malformed_rows(feedback, tmp_path):
+    paths = write_feedback_artifact(feedback, tmp_path)
+    text = paths["data"].read_text().splitlines()
+    text[1] = text[1].replace(text[1].split(",")[1], "not-a-number", 1)
+    paths["data"].write_text("\n".join(text) + "\n")
+    with pytest.raises(ValueError, match="malformed feedback row"):
+        load_feedback_dataset(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Drift monitoring
+# ----------------------------------------------------------------------
+_BASELINE = {
+    "selector_kernel_accuracy": 0.9,
+    "selector_slowdown_vs_oracle": 1.1,
+}
+
+
+def test_drift_monitor_without_baseline_or_observations():
+    monitor = DriftMonitor(baseline=None)
+    monitor.observe({"selector_kernel_accuracy": 0.1})
+    status = monitor.status()
+    assert not status["baseline_available"] and not status["drifted"]
+    fresh = DriftMonitor(baseline=dict(_BASELINE))
+    status = fresh.status()
+    assert status["baseline_available"] and not status["drifted"]
+    assert status["observations"] == 0
+
+
+def test_drift_monitor_flags_accuracy_drop():
+    monitor = DriftMonitor(baseline=dict(_BASELINE), threshold=0.1)
+    monitor.observe(
+        {"selector_kernel_accuracy": 0.5, "selector_slowdown_vs_oracle": 1.1}
+    )
+    status = monitor.status()
+    assert status["drifted"]
+    assert status["accuracy_drop"] == pytest.approx(0.4)
+    assert any("accuracy" in reason for reason in status["reasons"])
+
+
+def test_drift_monitor_flags_slowdown_growth():
+    monitor = DriftMonitor(baseline=dict(_BASELINE), threshold=0.1)
+    monitor.observe(
+        {"selector_kernel_accuracy": 0.9, "selector_slowdown_vs_oracle": 2.2}
+    )
+    status = monitor.status()
+    assert status["drifted"]
+    assert status["slowdown_increase"] == pytest.approx(1.0)
+    assert any("slowdown" in reason for reason in status["reasons"])
+
+
+def test_drift_monitor_window_forgets_old_degradation():
+    monitor = DriftMonitor(baseline=dict(_BASELINE), threshold=0.1, window=2)
+    monitor.observe(
+        {"selector_kernel_accuracy": 0.1, "selector_slowdown_vs_oracle": 9.0}
+    )
+    assert monitor.status()["drifted"]
+    for _ in range(2):  # healthy traffic pushes the bad run out of the window
+        monitor.observe(
+            {
+                "selector_kernel_accuracy": 0.9,
+                "selector_slowdown_vs_oracle": 1.1,
+            }
+        )
+    status = monitor.status()
+    assert status["observations"] == 2
+    assert not status["drifted"]
+
+
+def test_drift_monitor_ignores_non_finite_observations():
+    monitor = DriftMonitor(baseline=dict(_BASELINE), threshold=0.1)
+    monitor.observe(
+        {
+            "selector_kernel_accuracy": 0.9,
+            "selector_slowdown_vs_oracle": math.inf,
+        }
+    )
+    status = monitor.status()
+    assert not status["drifted"]
+    assert "observed_slowdown_vs_oracle" not in status

@@ -190,6 +190,10 @@ def test_daemon_readiness_and_single_request(model_path, tiny_sweep):
         assert metrics["requests_total"] == 2
         assert metrics["responses_total"] == 1
         assert metrics["failures_total"] == 1  # the malformed payload
+        assert metrics["errors_total"] == 1  # ... bucketed as an error
+        # The failed request's latency stays out of the success histogram.
+        assert metrics["error_latency_ms_max"] > 0.0
+        assert metrics["drift"] == {"enabled": False}  # no feedback_dir
     assert service.draining
 
 
@@ -412,6 +416,140 @@ def test_embedded_service_shutdown_without_accept_loop(model_path):
         service.serve_request(
             ServeRequest(name="late", known={"rows": 1.0})
         )
+
+
+# ----------------------------------------------------------------------
+# Error bucketing and drift monitoring
+# ----------------------------------------------------------------------
+def test_metrics_bucket_error_latencies_separately():
+    """Failed-request latencies must never pollute the success histogram."""
+    from repro.serving.service import _EMPTY_STATS, ServiceMetrics
+
+    metrics = ServiceMetrics()
+    metrics.record_results([], _EMPTY_STATS, [10.0])
+    metrics.record_error(50.0)
+    metrics.record_error()  # error with no measurable latency still counts
+    snapshot = metrics.snapshot()
+    assert snapshot["errors_total"] == 2
+    assert snapshot["error_latency_ms_max"] == 50.0
+    assert snapshot["error_latency_ms_mean"] == 25.0
+    assert snapshot["latency_ms_max"] == 10.0  # success bucket untouched
+
+
+def test_batch_error_shares_are_bucketed_per_failure(model_path, tiny_sweep):
+    """A client batch with failures books one error share per failure and
+    keeps the batch latency in the success histogram for the good ones."""
+    known = {name: 1.0 for name in tiny_sweep.models.known_feature_names}
+    known.update(rows=64, cols=64, nnz=512, iterations=1)
+    gathered = {name: 0.5 for name in tiny_sweep.models.gathered_feature_names}
+    with ServingService(_config(model_path)) as service:
+        _post(
+            service.url + "/v1/serve",
+            {
+                "requests": [
+                    {"name": "a", "known": known, "gathered": gathered},
+                    {"name": "broken", "nonsense": True},
+                ]
+            },
+        )
+        snapshot = service.metrics.snapshot()
+    assert snapshot["failures_total"] == 1
+    assert snapshot["errors_total"] == 1
+    assert snapshot["error_latency_ms_max"] > 0.0
+    assert snapshot["latency_ms_max"] > 0.0  # the good response's latency
+
+
+def test_drift_monitor_flags_degraded_feedback(tiny_sweep, tmp_path):
+    """Feedback artifacts far below the manifest baseline flip the drift
+    status in /metrics and the shutdown summary."""
+    from repro.serving.registry import ModelRegistry
+
+    registry = ModelRegistry(tmp_path / "registry")
+    baseline = {
+        "selector_kernel_accuracy": 0.95,
+        "selector_slowdown_vs_oracle": 1.05,
+    }
+    model_file = registry.save(
+        tiny_sweep.models, domain="spmv", profile="tiny", evaluation=baseline
+    )
+    feedback_dir = tmp_path / "feedback"
+    feedback_dir.mkdir()
+    (feedback_dir / "manifest.json").write_text(
+        json.dumps(
+            {
+                "summary": {
+                    "selector_kernel_accuracy": 0.5,
+                    "selector_slowdown_vs_oracle": 2.0,
+                }
+            },
+            sort_keys=True,
+        )
+    )
+    config = _config(str(model_file), feedback_dir=str(feedback_dir))
+    with ServingService(config) as service:
+        status, metrics = _get(service.url + "/metrics")
+        assert status == 200
+        drift = metrics["drift"]
+        assert drift["enabled"] and drift["baseline_available"]
+        assert drift["observations"] == 1
+        assert drift["drifted"]
+        assert len(drift["reasons"]) == 2  # accuracy drop and slowdown growth
+        assert drift["baseline_accuracy"] == 0.95
+        assert drift["observed_accuracy"] == 0.5
+        summary = service.summary()
+    assert summary["drift"]["drifted"]
+
+
+def test_drift_monitor_stays_quiet_on_healthy_feedback(tiny_sweep, tmp_path):
+    from repro.serving.registry import ModelRegistry
+
+    registry = ModelRegistry(tmp_path / "registry")
+    baseline = {
+        "selector_kernel_accuracy": 0.9,
+        "selector_slowdown_vs_oracle": 1.1,
+    }
+    model_file = registry.save(
+        tiny_sweep.models, domain="spmv", profile="tiny", evaluation=baseline
+    )
+    feedback_dir = tmp_path / "feedback"
+    (feedback_dir / "run-1").mkdir(parents=True)
+    (feedback_dir / "run-1" / "manifest.json").write_text(
+        json.dumps(
+            {
+                "summary": {
+                    "selector_kernel_accuracy": 0.88,
+                    "selector_slowdown_vs_oracle": 1.12,
+                }
+            },
+            sort_keys=True,
+        )
+    )
+    config = _config(str(model_file), feedback_dir=str(feedback_dir))
+    with ServingService(config) as service:
+        drift = service.drift_status()
+    assert drift["enabled"] and drift["baseline_available"]
+    assert drift["observations"] == 1  # nested run directories are scanned
+    assert not drift["drifted"] and drift["reasons"] == []
+
+
+def test_drift_without_manifest_baseline_reports_unavailable(
+    model_path, tmp_path
+):
+    """A bare model.json (no manifest sidecar) still serves; drift just
+    reports that no training baseline is available."""
+    feedback_dir = tmp_path / "feedback"
+    feedback_dir.mkdir()
+    config = _config(model_path, feedback_dir=str(feedback_dir))
+    with ServingService(config) as service:
+        drift = service.drift_status()
+    assert drift["enabled"]
+    assert not drift["baseline_available"]
+    assert not drift["drifted"]
+
+
+def test_config_validates_drift_threshold(model_path):
+    with pytest.raises(ServiceConfigError, match="drift_threshold"):
+        ServiceConfig(model=model_path, drift_threshold=0.0)
 
 
 # ----------------------------------------------------------------------
