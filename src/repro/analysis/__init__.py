@@ -5,7 +5,8 @@ deterministic artifacts, canonical JSON, cache-key purity, daemon locking
 discipline, domain-schema conformance — into named, testable rules.  See
 :mod:`repro.analysis.engine` for the rule engine and the per-category rule
 modules (:mod:`~repro.analysis.determinism`,
-:mod:`~repro.analysis.concurrency`, :mod:`~repro.analysis.conformance`).
+:mod:`~repro.analysis.concurrency`, :mod:`~repro.analysis.conformance`,
+:mod:`~repro.analysis.environment`, :mod:`~repro.analysis.promotion`).
 """
 
 from repro.analysis.engine import (

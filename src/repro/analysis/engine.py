@@ -274,6 +274,7 @@ def _ensure_rules_loaded() -> None:
         concurrency,
         conformance,
         determinism,
+        environment,
         promotion,
     )
 

@@ -1,0 +1,95 @@
+"""Environment rules: configuration enters at the front door (ENV0xx).
+
+``SEER_*`` environment variables (``SEER_JOBS``, ``SEER_CACHE_DIR``, the
+deprecated ``SEER_SCALAR_TIMING``) are *entry-point* configuration: the CLI
+and :func:`~repro.bench.engine.engine_from_env` read them exactly once and
+thread the resolved values — jobs, cache dir, ``timing_mode``,
+``precision`` — through explicit parameters.  A library module that reads
+the environment per call reintroduces ambient state: two identical calls
+can behave differently depending on who exported what, which breaks cache-
+key purity and makes the measurement mode untestable.  ``ENV001`` pins the
+boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import Finding, ModuleSource, dotted_name, register_rule
+
+#: Modules sanctioned to read ``SEER_*`` variables: the environment-to-
+#: parameter translation layer.  ``core/benchmarking.py``'s deprecated
+#: ``timing_mode_from_env`` fallback is *not* listed — it carries an inline
+#: disable so the exception stays visible at the call site.
+ENV_ENTRY_POINT_MODULES = ("bench/engine.py",)
+
+#: The reserved prefix of this repository's environment variables.
+ENV_PREFIX = "SEER_"
+
+
+def _env_var_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The ``SEER_*`` name in a constant expression, if that's what it is."""
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value.startswith(ENV_PREFIX)
+    ):
+        return node.value
+    return None
+
+
+def _is_environ_mapping(node: ast.expr) -> bool:
+    """Whether an expression names an environment mapping (``os.environ``,
+    a bare/aliased ``environ``, or any ``*.environ`` attribute)."""
+    name = dotted_name(node)
+    return name is not None and (name == "environ" or name.endswith(".environ"))
+
+
+@register_rule(
+    "ENV001",
+    "SEER_* environment read outside an entry-point module",
+)
+def env_read_outside_entry_point(module: ModuleSource) -> Iterator[Finding]:
+    """Flag ``SEER_*`` reads anywhere but the designated entry points.
+
+    Catches the three read spellings — ``os.getenv("SEER_X")``,
+    ``environ.get("SEER_X")`` / ``os.environ["SEER_X"]`` and
+    ``"SEER_X" in os.environ`` — in every module not listed in
+    :data:`ENV_ENTRY_POINT_MODULES`.  The fix is never a suppression (save
+    for the one deprecated fallback): accept the value as a parameter and
+    let the CLI/engine layer do the reading.
+    """
+    if module.module in ENV_ENTRY_POINT_MODULES:
+        return
+    for node in ast.walk(module.tree):
+        variable = None
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            reads_env = name is not None and (
+                name == "getenv"
+                or name.endswith(".getenv")
+                or name == "environ.get"
+                or name.endswith(".environ.get")
+            )
+            if reads_env and node.args:
+                variable = _env_var_name(node.args[0])
+        elif isinstance(node, ast.Subscript):
+            if _is_environ_mapping(node.value):
+                variable = _env_var_name(node.slice)
+        elif isinstance(node, ast.Compare):
+            if (
+                len(node.ops) == 1
+                and isinstance(node.ops[0], (ast.In, ast.NotIn))
+                and _is_environ_mapping(node.comparators[0])
+            ):
+                variable = _env_var_name(node.left)
+        if variable is not None:
+            yield module.finding(
+                node,
+                f"reads {variable} from the environment; {ENV_PREFIX}* "
+                f"variables are resolved once at the entry points "
+                f"({', '.join(ENV_ENTRY_POINT_MODULES)}) and threaded "
+                f"through explicit parameters",
+                symbol=variable,
+            )

@@ -62,11 +62,18 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro.bench.runner import DEFAULT_SEED, DEFAULT_SPLIT_SEED
-from repro.core.benchmarking import BenchmarkSuite, MatrixMeasurement, measure_matrix
+from repro.core.benchmarking import (
+    BenchmarkSuite,
+    MatrixMeasurement,
+    check_timing_mode,
+    measure_matrix,
+    timing_mode_from_env,
+)
 from repro.core.dataset import DEFAULT_ITERATION_COUNTS
 from repro.core.training import TrainingConfig
 from repro.domains import get_domain, spec_payload
 from repro.gpu.device import MI100, DeviceSpec
+from repro.gpu.simulator import check_precision
 from repro.sparse import io as sparse_io
 from repro.sparse.collection import CollectionProfile
 from repro.sparse.csr import CSRMatrix
@@ -124,12 +131,18 @@ def stable_hash(payload: dict) -> str:
 _stable_hash = stable_hash
 
 
-def measurement_key(spec, kernel_labels, device: DeviceSpec, domain=None) -> str:
+def measurement_key(
+    spec, kernel_labels, device: DeviceSpec, domain=None, precision: str = "exact"
+) -> str:
     """Cache key of one workload measurement.
 
     Every dataclass field of the spec participates (via
     :func:`repro.domains.spec_payload`), so domain-specific recipe
-    parameters can never collide.
+    parameters can never collide.  The precision mode participates too —
+    fast-mode timings are only tolerance-close to exact ones, so the two
+    modes must never serve each other's cached artifacts.  The timing mode
+    does *not*: scalar and batched exact timings are bit-identical by
+    construction (and scalar timing only supports ``precision="exact"``).
     """
     domain = get_domain(domain)
     return _stable_hash(
@@ -140,6 +153,7 @@ def measurement_key(spec, kernel_labels, device: DeviceSpec, domain=None) -> str
             "spec": spec_payload(spec),
             "kernels": list(kernel_labels),
             "device": asdict(device),
+            "precision": check_precision(precision),
         }
     )
 
@@ -182,6 +196,7 @@ def sweep_config_key(
     kernel_labels,
     config: Optional[TrainingConfig] = None,
     domain=None,
+    precision: str = "exact",
 ) -> str:
     """Cache key of a whole sweep configuration.
 
@@ -189,7 +204,8 @@ def sweep_config_key(
     hashes identically to an explicit default
     :class:`~repro.core.training.TrainingConfig` — they produce the same
     sweep.  The domain name participates, so two domains sharing profile
-    names never collide.
+    names never collide, and so does the precision mode — a fast-mode sweep
+    must never be served from an exact-mode artifact or vice versa.
     """
     domain = get_domain(domain)
     return _stable_hash(
@@ -204,6 +220,7 @@ def sweep_config_key(
             "device": asdict(device),
             "kernels": list(kernel_labels),
             "training": asdict(config or TrainingConfig()),
+            "precision": check_precision(precision),
         }
     )
 
@@ -290,6 +307,8 @@ def _measure_spec_chunk(
     device: DeviceSpec,
     domain=None,
     matrix_dir=None,
+    timing_mode=None,
+    precision: str = "exact",
 ) -> tuple:
     """Worker entry point: benchmark a chunk of workload recipes.
 
@@ -325,7 +344,17 @@ def _measure_spec_chunk(
         else:
             matrix_hits += 1
         workload = domain.workload_from_matrix(spec, matrix)
-        measurements.append(measure_matrix(spec.name, workload, kernels, pipeline, domain=domain))
+        measurements.append(
+            measure_matrix(
+                spec.name,
+                workload,
+                kernels,
+                pipeline,
+                domain=domain,
+                timing_mode=timing_mode,
+                precision=precision,
+            )
+        )
     return measurements, generated, matrix_hits
 
 
@@ -386,14 +415,39 @@ class SweepEngine:
         Work chunks created per worker; larger values smooth out load
         imbalance between cheap and expensive matrices at the cost of more
         inter-process traffic.
+    timing_mode:
+        ``"batched"`` or ``"scalar"`` timing for the benchmarking stage.
+        ``None`` (the default) resolves the deprecated ``SEER_SCALAR_TIMING``
+        fallback once, at construction — workers never consult the
+        environment.
+    precision:
+        ``"exact"`` (golden-pinned default) or ``"fast"`` (fused measurement
+        path, tolerance-guarded).  Participates in every measurement and
+        sweep cache key, so the two modes never share cached artifacts.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir=None, chunks_per_job: int = 4):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir=None,
+        chunks_per_job: int = 4,
+        timing_mode=None,
+        precision: str = "exact",
+    ):
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
         self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.chunks_per_job = max(1, chunks_per_job)
+        if timing_mode is None:
+            timing_mode = timing_mode_from_env()
+        self.timing_mode = check_timing_mode(timing_mode)
+        self.precision = check_precision(precision)
+        if self.timing_mode == "scalar" and self.precision != "exact":
+            raise ValueError(
+                "timing_mode='scalar' is the ground-truth reference and only "
+                "supports precision='exact'"
+            )
         self.stats = EngineStats()
 
     def describe(self) -> dict:
@@ -402,6 +456,8 @@ class SweepEngine:
             "jobs": self.jobs,
             "cache_dir": str(self.cache_dir) if self.cache_dir is not None else None,
             "chunks_per_job": self.chunks_per_job,
+            "timing_mode": self.timing_mode,
+            "precision": self.precision,
             "stats": self.stats.as_dict(),
         }
 
@@ -475,7 +531,10 @@ class SweepEngine:
         domain = get_domain(domain)
         specs = list(specs)
         kernel_labels = tuple(kernel_labels)
-        keys = [measurement_key(spec, kernel_labels, device, domain) for spec in specs]
+        keys = [
+            measurement_key(spec, kernel_labels, device, domain, precision=self.precision)
+            for spec in specs
+        ]
         results = [None] * len(specs)
         pending = []
         for index, key in enumerate(keys):
@@ -502,7 +561,14 @@ class SweepEngine:
             specs,
             jobs=self.jobs,
             chunks_per_job=self.chunks_per_job,
-            args=(kernel_labels, device, domain, self._matrix_dir()),
+            args=(
+                kernel_labels,
+                device,
+                domain,
+                self._matrix_dir(),
+                self.timing_mode,
+                self.precision,
+            ),
         )
         measurements = []
         for chunk_measurements, generated, matrix_hits in chunk_results:
@@ -564,6 +630,7 @@ class SweepEngine:
             kernel_labels,
             config,
             domain,
+            precision=self.precision,
         )
         cached = self._load_sweep(key)
         if cached is not None:
@@ -597,6 +664,7 @@ class SweepEngine:
                 "device": device.name,
                 "kernels": list(kernel_labels),
                 "training": asdict(config or TrainingConfig()),
+                "precision": self.precision,
                 "code": code_version(),
                 "format": CACHE_FORMAT_VERSION,
             },
@@ -622,19 +690,34 @@ def jobs_from_env(environ=None):
     return jobs
 
 
-def engine_from_env(environ=None, jobs=None, cache_dir=None):
+def engine_from_env(environ=None, jobs=None, cache_dir=None, timing_mode=None, precision=None):
     """Build the engine described by ``SEER_JOBS``/``SEER_CACHE_DIR``.
 
     ``jobs``/``cache_dir`` override the corresponding environment variable
     (each independently), so callers with explicit settings — e.g. CLI
-    flags — can merge them with the environment.  Returns ``None`` when the
-    result would be the plain serial, cacheless configuration.
+    flags — can merge them with the environment.  ``timing_mode`` and
+    ``precision`` come from CLI flags only; when ``timing_mode`` is ``None``
+    the engine constructor resolves the deprecated ``SEER_SCALAR_TIMING``
+    fallback once.  Returns ``None`` when the result would be the plain
+    serial, cacheless, exact-precision configuration — the serial reference
+    path (which itself honors the same environment fallback per call)
+    covers that case without an engine.
     """
     environ = os.environ if environ is None else environ
     if jobs is None:
         jobs = jobs_from_env(environ)
     if cache_dir is None:
         cache_dir = environ.get("SEER_CACHE_DIR") or None
-    if (jobs is None or jobs == 1) and cache_dir is None:
+    if (
+        (jobs is None or jobs == 1)
+        and cache_dir is None
+        and timing_mode is None
+        and precision in (None, "exact")
+    ):
         return None
-    return SweepEngine(jobs=1 if jobs is None else jobs, cache_dir=cache_dir)
+    return SweepEngine(
+        jobs=1 if jobs is None else jobs,
+        cache_dir=cache_dir,
+        timing_mode=check_timing_mode(timing_mode) if timing_mode is not None else timing_mode_from_env(environ),
+        precision="exact" if precision is None else precision,
+    )

@@ -37,7 +37,9 @@ from pathlib import Path
 
 from repro.bench.engine import SweepEngine, engine_from_env
 from repro.bench.runner import run_sweep
+from repro.core.benchmarking import TIMING_MODES
 from repro.core.codegen import write_cpp_header, write_python_module
+from repro.gpu.simulator import PRECISION_MODES
 from repro.domains import DEFAULT_DOMAIN, domain_names
 from repro.experiments.common import DEFAULT_PROFILE
 from repro.experiments.registry import (
@@ -92,18 +94,42 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="directory for persistent sweep/measurement artifacts "
         "(default: SEER_CACHE_DIR or no disk caching)",
     )
+    parser.add_argument(
+        "--precision",
+        default=None,
+        choices=list(PRECISION_MODES),
+        help="measurement precision: 'exact' is the golden-pinned reference, "
+        "'fast' fuses the per-kernel cost-model transforms "
+        "(tolerance-guarded; default: exact)",
+    )
+    parser.add_argument(
+        "--timing-mode",
+        default=None,
+        choices=list(TIMING_MODES),
+        help="'batched' one-shot launch-table timing or the 'scalar' "
+        "per-kernel ground-truth loop "
+        "(default: batched, or the deprecated SEER_SCALAR_TIMING fallback)",
+    )
 
 
 def _resolve_engine(args) -> SweepEngine:
-    """Engine described by ``--jobs``/``--cache-dir``, or ``None`` for serial.
+    """Engine described by ``--jobs``/``--cache-dir``/``--precision``, or ``None``.
 
     Each explicit flag overrides its ``SEER_JOBS``/``SEER_CACHE_DIR``
     environment variable independently (so ``--jobs 1`` forces the serial
     benchmarking stage even with ``SEER_JOBS`` exported); with neither flags
-    nor environment, the serial reference path runs.
+    nor environment, the serial reference path runs.  ``--timing-mode`` and
+    ``--precision`` likewise override the deprecated ``SEER_SCALAR_TIMING``
+    fallback; any non-default value forces an engine so the choice is
+    threaded explicitly instead of through the environment.
     """
     try:
-        return engine_from_env(jobs=args.jobs, cache_dir=args.cache_dir)
+        return engine_from_env(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            timing_mode=getattr(args, "timing_mode", None),
+            precision=getattr(args, "precision", None),
+        )
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}") from None
 
@@ -251,6 +277,21 @@ def _cmd_codegen(args) -> int:
         artifact = load_artifact(args.model)
     except ModelArtifactError as error:
         raise SystemExit(f"repro: error: {error}") from None
+    if args.install:
+        from repro.serving.backends import emit_selector_module
+
+        if args.language != "py":
+            raise SystemExit(
+                "repro: error: --install caches the Python selector "
+                "(use --language py)"
+            )
+        if artifact.path is None:
+            raise SystemExit(
+                "repro: error: --install needs a model artifact on disk"
+            )
+        installed = emit_selector_module(artifact.models, artifact.path)
+        print(f"installed codegen selector: {installed}")
+        return 0
     if args.language == "cpp":
         rendered = models_to_cpp_header(artifact.models)
     else:
@@ -302,6 +343,8 @@ def _cmd_serve_daemon(args) -> int:
             log_dir=args.log_dir,
             feedback_dir=args.feedback_dir,
             drift_threshold=args.drift_threshold,
+            backend=args.backend,
+            precision=args.precision,
             options=options or None,
         )
         service = ServingService(config)
@@ -669,6 +712,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="file to write; omitted, the generated code goes to stdout",
     )
+    codegen.add_argument(
+        "--install", action="store_true",
+        help="atomically cache the generated Python selector as selector.py "
+        "next to the model artifact, where the serving daemon's codegen "
+        "backend loads it",
+    )
     codegen.set_defaults(func=_cmd_codegen)
 
     serve = sub.add_parser(
@@ -744,6 +793,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--drift-threshold", type=float, default=None, metavar="X",
         help="degradation fraction that flags drift (default: 0.1)",
+    )
+    serve.add_argument(
+        "--backend", default=None, choices=["compiled", "codegen", "recursive"],
+        help="daemon inference backend: the vectorized compiled trees, the "
+        "generated-Python selector module cached next to model.json, or "
+        "the per-row recursive reference walks (default: compiled)",
     )
     _add_engine_options(serve)
     serve.set_defaults(func=_cmd_serve)

@@ -207,34 +207,94 @@ def _as_pipeline(features, domain):
     return FeaturePipeline(domain=domain, collector=features)
 
 
+#: Measurement-path names accepted by :func:`measure_matrix`.
+TIMING_MODES = ("batched", "scalar")
+
+
+def timing_mode_from_env(environ=None) -> str:
+    """Deprecated fallback: map ``SEER_SCALAR_TIMING`` to a timing mode.
+
+    New call sites must pass ``timing_mode`` explicitly (the engine and the
+    CLI thread it from their own entry points); this helper exists so the
+    retired environment switch keeps working for one more release and is
+    the *only* place outside the designated entry-point modules allowed to
+    read a ``SEER_*`` variable (see the ENV001 lint rule).
+    """
+    if environ is None:
+        environ = os.environ
+    scalar = environ.get("SEER_SCALAR_TIMING")  # repro-lint: disable=ENV001
+    return "scalar" if scalar == "1" else "batched"
+
+
+def check_timing_mode(timing_mode: str) -> str:
+    """Validate a timing-mode string and return it."""
+    if timing_mode not in TIMING_MODES:
+        raise ValueError(
+            f"timing_mode must be one of {TIMING_MODES}, got {timing_mode!r}"
+        )
+    return timing_mode
+
+
 def measure_matrix(
-    name, workload, kernels, pipeline, domain=None, vectorized=None
+    name,
+    workload,
+    kernels,
+    pipeline,
+    domain=None,
+    vectorized=None,
+    timing_mode=None,
+    precision: str = "exact",
 ) -> MatrixMeasurement:
     """Benchmark one workload on every kernel and collect its features.
 
     ``pipeline`` is the domain's :class:`~repro.pipeline.FeaturePipeline`
     (a bare feature collector is also accepted for backward compatibility).
 
-    ``vectorized`` picks the measurement path: the batched one shares a
+    ``timing_mode`` picks the measurement path: ``"batched"`` shares a
     :class:`~repro.kernels.base.LaunchContext` across every kernel and the
     feature collector and simulates all launches through
-    :func:`~repro.gpu.simulator.simulate_launch_batch`; the scalar one times
-    each kernel independently.  Both are bit-identical by construction (they
-    evaluate the same :class:`~repro.gpu.simulator.LaunchSpec` objects).
-    The default follows the ``SEER_SCALAR_TIMING`` environment variable
-    (``1`` forces the scalar path, anything else picks the batched path).
+    :func:`~repro.gpu.simulator.simulate_launch_batch`; ``"scalar"`` times
+    each kernel independently and is the ground-truth reference.  With the
+    default ``precision="exact"`` both paths are bit-identical by
+    construction (they evaluate the same
+    :class:`~repro.gpu.simulator.LaunchSpec` objects);
+    ``precision="fast"`` applies the batched path's fused tolerance-guarded
+    shortcuts (within
+    :data:`~repro.gpu.simulator.FAST_MODE_RELATIVE_TOLERANCE` of the
+    reference) and is rejected in scalar mode, which must stay exact.
+
+    ``vectorized`` is the deprecated boolean spelling of ``timing_mode``;
+    when neither is given the retired ``SEER_SCALAR_TIMING`` variable is
+    consulted via :func:`timing_mode_from_env` (entry points should read
+    the environment once and pass ``timing_mode`` explicitly).
     """
+    from repro.gpu.simulator import check_precision
+
     domain = get_domain(domain)
     pipeline = _as_pipeline(pipeline, domain)
-    if vectorized is None:
-        vectorized = os.environ.get("SEER_SCALAR_TIMING") != "1"
+    check_precision(precision)
+    if timing_mode is None:
+        if vectorized is not None:
+            timing_mode = "batched" if vectorized else "scalar"
+        else:
+            timing_mode = timing_mode_from_env()
+    elif vectorized is not None:
+        raise ValueError("pass timing_mode or the deprecated vectorized, not both")
+    check_timing_mode(timing_mode)
+    if timing_mode == "scalar" and precision != "exact":
+        raise ValueError(
+            "the scalar timing path is the ground-truth reference and only "
+            "supports precision='exact'"
+        )
     runtime = {}
     preprocessing = {}
-    if vectorized:
+    if timing_mode == "batched":
         from repro.kernels.base import LaunchContext, batch_timings
 
-        context = LaunchContext.of(workload)
-        timings = batch_timings(kernels, workload, context=context)
+        context = LaunchContext.of(workload, precision=precision)
+        timings = batch_timings(
+            kernels, workload, context=context, precision=precision
+        )
         for kernel in kernels:
             timing = timings.get(kernel.name)
             if timing is None:
@@ -264,7 +324,14 @@ def measure_matrix(
     )
 
 
-def run_benchmark_suite(records, kernels=None, device=MI100, domain=None) -> BenchmarkSuite:
+def run_benchmark_suite(
+    records,
+    kernels=None,
+    device=MI100,
+    domain=None,
+    timing_mode=None,
+    precision: str = "exact",
+) -> BenchmarkSuite:
     """Run the GPU benchmarking and feature-collection stages over a dataset.
 
     Parameters
@@ -280,6 +347,8 @@ def run_benchmark_suite(records, kernels=None, device=MI100, domain=None) -> Ben
         Simulated device the kernels run on.
     domain:
         Problem domain name or instance; defaults to ``"spmv"``.
+    timing_mode / precision:
+        Passed through to :func:`measure_matrix` for every record.
 
     Note
     ----
@@ -292,7 +361,15 @@ def run_benchmark_suite(records, kernels=None, device=MI100, domain=None) -> Ben
         kernels = domain.default_kernels(device)
     pipeline = domain.make_pipeline(device)
     measurements = [
-        measure_matrix(record.name, record.matrix, kernels, pipeline, domain=domain)
+        measure_matrix(
+            record.name,
+            record.matrix,
+            kernels,
+            pipeline,
+            domain=domain,
+            timing_mode=timing_mode,
+            precision=precision,
+        )
         for record in records
     ]
     return BenchmarkSuite(

@@ -334,6 +334,16 @@ class SpmmThreadMapped(SpmmKernel):
                 context.row_lengths_f64 * CYCLES_PER_NONZERO + ROW_OVERHEAD_CYCLES
             )
             passes = int(np.ceil(n / simd))
+            if context.fast:
+                # Keep the per-pass replication symbolic in fast mode.
+                wavefront_cycles = lane_cycles
+                a_passes = passes
+                bytes_moved = (
+                    a_passes * self._a_stream_bytes(workload)
+                    + self._b_stream_bytes(workload)
+                    + self._c_stream_bytes(workload)
+                )
+                return self._spec(wavefront_cycles, bytes_moved, repeat=passes)
             wavefront_cycles = np.repeat(lane_cycles, passes)
             a_passes = passes
         else:
@@ -411,7 +421,6 @@ class SpmmWorkOriented(SpmmKernel):
             + MERGE_SEARCH_CYCLES
             + WAVE_REDUCTION_CYCLES
         )
-        wavefront_cycles = np.full(num_chunks, full_cycles, dtype=np.float64)
         # Each chunk's carry-out row crosses the global atomic unit once;
         # the num_vectors partials of that row leave as one wide transaction.
         serial_cycles = num_chunks * ATOMIC_CYCLES
@@ -420,6 +429,14 @@ class SpmmWorkOriented(SpmmKernel):
             + self._b_stream_bytes(workload)
             + self._c_stream_bytes(workload)
         )
+        if context.fast:
+            return self._spec(
+                [full_cycles],
+                bytes_moved,
+                serial_cycles=serial_cycles,
+                repeat=num_chunks,
+            )
+        wavefront_cycles = np.full(num_chunks, full_cycles, dtype=np.float64)
         return self._spec(
             wavefront_cycles, bytes_moved, serial_cycles=serial_cycles
         )
@@ -483,11 +500,7 @@ class SpmmEllBlockMapped(SpmmKernel):
         width = context.max_row_length
         lanes = matrix.num_rows * n
         num_waves = max(1, int(np.ceil(lanes / simd)))
-        wave_cycles = np.full(
-            num_waves,
-            width * self.CYCLES_PER_PADDED_ELEMENT + ROW_OVERHEAD_CYCLES,
-            dtype=np.float64,
-        )
+        uniform_cycles = width * self.CYCLES_PER_PADDED_ELEMENT + ROW_OVERHEAD_CYCLES
         padded_slots = matrix.num_rows * width
         b_total = workload.num_cols * n * VALUE_BYTES
         if b_total <= self.device.l2_cache_bytes:
@@ -500,6 +513,9 @@ class SpmmEllBlockMapped(SpmmKernel):
             + b_bytes
             + self._c_stream_bytes(workload)
         )
+        if context.fast:
+            return self._spec([uniform_cycles], bytes_moved, repeat=num_waves)
+        wave_cycles = np.full(num_waves, uniform_cycles, dtype=np.float64)
         return self._spec(wave_cycles, bytes_moved)
 
     def timing(self, workload: SpmmWorkload, context=None):

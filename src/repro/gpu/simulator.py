@@ -38,6 +38,43 @@ from repro.gpu.device import DeviceSpec, MI100
 from repro.gpu.memory import memory_time_ms
 from repro.gpu.occupancy import wavefront_slots
 
+#: Measurement precision modes accepted throughout the pipeline.
+PRECISION_MODES = ("exact", "fast")
+
+#: Relative-tolerance contract of ``precision="fast"``.
+#:
+#: The fast path fuses each launch's cycle sum into one
+#: ``np.add.reduceat`` segment pass over a concatenated table.  ``reduceat``
+#: accumulates sequentially while ``ndarray.sum`` uses pairwise summation,
+#: so the two round differently: for non-negative addends the relative
+#: error of either scheme is bounded by ``n * eps`` (``n`` = wavefronts per
+#: launch, at most ~1e6 for the profiles this repository ships;
+#: ``eps ~ 2.2e-16``), i.e. below 1e-9 with two orders of margin.  The max
+#: and min reductions are order-insensitive and stay exact, as do the
+#: memory/serial/overhead roofline terms, so every derived millisecond
+#: figure agrees with the scalar reference to within this bound.  The
+#: differential suite asserts it on every hypothesis-generated workload.
+FAST_MODE_RELATIVE_TOLERANCE = 1e-9
+
+#: Per-launch cycle count above which the fused table stops paying for
+#: itself.  Packing a launch into the shared ``reduceat`` table costs one
+#: ``np.concatenate`` copy of its cycle array; for large launches the
+#: reductions are already bandwidth-bound, so that copy is pure overhead.
+#: Launches above the cutoff therefore run the exact per-array reductions
+#: (bit-identical to the reference — zero error, trivially inside the
+#: tolerance) and only the small, launch-overhead-dominated specs — where
+#: fusion amortizes the per-call dispatch cost — share the table.
+FAST_MODE_FUSION_CUTOFF = 4096
+
+
+def check_precision(precision: str) -> str:
+    """Validate a precision-mode string and return it."""
+    if precision not in PRECISION_MODES:
+        raise ValueError(
+            f"precision must be one of {PRECISION_MODES}, got {precision!r}"
+        )
+    return precision
+
 
 @dataclass(frozen=True)
 class LaunchResult:
@@ -81,6 +118,13 @@ class LaunchSpec:
     extra_launches: int = 0
     bandwidth_utilization: float = 1.0
     serial_cycles: float = 0.0
+    #: Logical tiling factor: the launch behaves as if ``wavefront_cycles``
+    #: were ``np.repeat``-ed (element-wise) ``repeat`` times.  The fast
+    #: measurement path uses this to describe uniform wavefront blocks
+    #: without materializing them; the exact path always emits ``repeat=1``
+    #: with the expansion done eagerly, keeping it bit-identical to the
+    #: scalar reference.
+    repeat: int = 1
 
 
 def as_wavefront_cycles(wavefront_cycles) -> np.ndarray:
@@ -118,18 +162,31 @@ def _validate_spec(spec: LaunchSpec) -> float:
         raise ValueError(f"{spec.label}: serial_cycles must be finite")
     if spec.serial_cycles < 0:
         raise ValueError("serial_cycles must be non-negative")
+    if spec.repeat < 1:
+        raise ValueError(f"{spec.label}: repeat must be >= 1")
     return highest
 
 
-def _finalize(device: DeviceSpec, spec: LaunchSpec, max_cycles: float) -> LaunchResult:
-    """Turn a validated spec plus its max reduction into a LaunchResult."""
+def _finalize(
+    device: DeviceSpec,
+    spec: LaunchSpec,
+    max_cycles: float,
+    total_cycles: float = None,
+) -> LaunchResult:
+    """Turn a validated spec plus its max reduction into a LaunchResult.
+
+    ``total_cycles`` may carry a precomputed cycle sum (the fast batch path
+    computes it in one fused segment pass); when omitted the exact per-array
+    pairwise ``ndarray.sum`` runs here.
+    """
     cycles = spec.wavefront_cycles
-    num_wavefronts = int(cycles.shape[0])
+    num_wavefronts = int(cycles.shape[0]) * spec.repeat
     slots = wavefront_slots(device, spec.occupancy_factor)
     if num_wavefronts == 0:
         compute_ms = 0.0
     else:
-        total_cycles = float(cycles.sum())
+        if total_cycles is None:
+            total_cycles = float(cycles.sum()) * spec.repeat
         makespan_cycles = max(total_cycles / slots, max_cycles)
         compute_ms = makespan_cycles * device.cycle_time_ns * 1e-6
     memory_ms = memory_time_ms(device, spec.bytes_moved, spec.bandwidth_utilization)
@@ -153,23 +210,104 @@ def simulate_spec(device: DeviceSpec, spec: LaunchSpec) -> LaunchResult:
     return _finalize(device, spec, _validate_spec(spec))
 
 
-def simulate_launch_batch(device: DeviceSpec, specs) -> list:
-    """Simulate many launches on one device, bit-identical to the scalar path.
+def _validate_scalar_fields(spec: LaunchSpec) -> None:
+    """The non-array half of :func:`_validate_spec` (bytes/serial checks)."""
+    if not math.isfinite(spec.bytes_moved):
+        raise ValueError(f"{spec.label}: bytes_moved must be finite")
+    if spec.bytes_moved < 0:
+        raise ValueError("bytes_moved must be non-negative")
+    if not math.isfinite(spec.serial_cycles):
+        raise ValueError(f"{spec.label}: serial_cycles must be finite")
+    if spec.serial_cycles < 0:
+        raise ValueError("serial_cycles must be non-negative")
+    if spec.repeat < 1:
+        raise ValueError(f"{spec.label}: repeat must be >= 1")
 
-    Each launch needs exactly three reductions over its cycle array (min for
-    validation, max, sum); the Python work per launch is constant, so the
-    batch costs ``O(total cycles) + O(len(specs))``.  The sums deliberately
-    run per-array through ``ndarray.sum`` rather than one
-    ``np.add.reduceat`` over a concatenation: NumPy's pairwise summation and
-    ``reduceat``'s sequential accumulation round differently, so a fused
-    segment sum would *not* be bit-identical to :func:`simulate_launch` (and
-    the concatenation would copy every array besides).
+
+def simulate_launch_batch(device: DeviceSpec, specs, precision: str = "exact") -> list:
+    """Simulate many launches on one device.
+
+    ``precision="exact"`` (the default) is bit-identical to the scalar path:
+    each launch runs exactly three reductions over its own cycle array (min
+    for validation, max, sum), so the batch costs ``O(total cycles) +
+    O(len(specs))``.  The sums deliberately run per-array through
+    ``ndarray.sum`` rather than one ``np.add.reduceat`` over a
+    concatenation: NumPy's pairwise summation and ``reduceat``'s sequential
+    accumulation round differently, so a fused segment sum would *not* be
+    bit-identical to :func:`simulate_launch`.
+
+    ``precision="fast"`` trades that bit-identity for one fused pass: every
+    cycle array (up to :data:`FAST_MODE_FUSION_CUTOFF` elements) is
+    concatenated into a single table and the per-launch min/max/sum
+    reductions become three ``reduceat`` segment reductions.  Min and max
+    are order-insensitive (still exact); the sequential segment sum agrees
+    with the pairwise reference to within
+    :data:`FAST_MODE_RELATIVE_TOLERANCE` (see its docstring for the bound).
+    Launches above the cutoff keep the exact per-array reductions — the
+    concatenate copy would cost more than fusion saves there (see the
+    cutoff's docstring) — and empty-cycle launches are excluded from the
+    table because ``reduceat`` returns ``values[offset]`` — not the
+    identity — for empty segments.
     """
     specs = list(specs)
-    maxima = [_validate_spec(spec) for spec in specs]
+    if check_precision(precision) == "exact":
+        maxima = [_validate_spec(spec) for spec in specs]
+        return [
+            _finalize(device, spec, max_cycles)
+            for spec, max_cycles in zip(specs, maxima)
+        ]
+    for spec in specs:
+        _validate_scalar_fields(spec)
+    maxima = [0.0] * len(specs)
+    totals = [0.0] * len(specs)
+    fused = []
+    for index, spec in enumerate(specs):
+        cycles = spec.wavefront_cycles
+        if not cycles.size:
+            continue
+        if cycles.size <= FAST_MODE_FUSION_CUTOFF:
+            fused.append(index)
+            continue
+        lowest = float(cycles.min())
+        highest = float(cycles.max())
+        if (
+            math.isnan(lowest)
+            or math.isinf(lowest)
+            or math.isinf(highest)
+            or lowest < 0
+        ):
+            # Replay the scalar validator from the first spec so the error
+            # names the first offending launch, as the exact path would.
+            for candidate in specs:
+                _validate_spec(candidate)
+        maxima[index] = highest
+        totals[index] = float(cycles.sum()) * spec.repeat
+    nonempty = fused
+    if nonempty:
+        table = np.concatenate([specs[i].wavefront_cycles for i in nonempty])
+        sizes = [specs[i].wavefront_cycles.size for i in nonempty]
+        offsets = np.zeros(len(nonempty), dtype=np.intp)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        segment_max = np.maximum.reduceat(table, offsets)
+        lowest = float(np.minimum.reduceat(table, offsets).min())
+        highest = float(segment_max.max())
+        if (
+            math.isnan(lowest)
+            or math.isinf(lowest)
+            or math.isinf(highest)
+            or lowest < 0
+        ):
+            # Re-run the scalar validator so the error names the offending
+            # launch exactly as the exact path would.
+            for spec in specs:
+                _validate_spec(spec)
+        segment_sum = np.add.reduceat(table, offsets)
+        for position, index in enumerate(nonempty):
+            maxima[index] = float(segment_max[position])
+            totals[index] = float(segment_sum[position]) * specs[index].repeat
     return [
-        _finalize(device, spec, max_cycles)
-        for spec, max_cycles in zip(specs, maxima)
+        _finalize(device, spec, maxima[index], totals[index])
+        for index, spec in enumerate(specs)
     ]
 
 

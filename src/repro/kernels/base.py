@@ -30,6 +30,7 @@ from repro.gpu.simulator import (
     LaunchResult,
     LaunchSpec,
     as_wavefront_cycles,
+    check_precision,
     group_reduce_max,
     simulate_launch,
     simulate_launch_batch,
@@ -77,17 +78,31 @@ class LaunchContext:
     is safe; a context is cheap to construct and fills lazily.
     """
 
-    def __init__(self, matrix: CSRMatrix):
+    def __init__(self, matrix: CSRMatrix, precision: str = "exact"):
         self.matrix = matrix
+        #: ``"exact"`` keeps every cached reduction bit-identical to the
+        #: per-kernel scalar path; ``"fast"`` lets the context substitute
+        #: fused closed-form expressions (shared sorted prefix sums,
+        #: hierarchical grouped maxima, symbolic ``repeat`` expansions)
+        #: that agree with the reference only to within
+        #: :data:`~repro.gpu.simulator.FAST_MODE_RELATIVE_TOLERANCE`.
+        self.precision = check_precision(precision)
         self._row_lengths = None
         self._row_lengths_f64 = None
         self._sorted_f64 = None
+        self._sorted_prefix_sum = None
+        self._sorted_prefix_sq = None
         self._grouped_max: dict = {}
         self._clamped_stream: dict = {}
         self._occupied_rows = None
 
     @classmethod
-    def of(cls, workload, context: "Optional[LaunchContext]" = None) -> "LaunchContext":
+    def of(
+        cls,
+        workload,
+        context: "Optional[LaunchContext]" = None,
+        precision: str = "exact",
+    ) -> "LaunchContext":
         """The given context, or a fresh one for the workload's matrix.
 
         ``workload`` is either a :class:`~repro.sparse.csr.CSRMatrix` or a
@@ -95,7 +110,12 @@ class LaunchContext:
         """
         if context is not None:
             return context
-        return cls(getattr(workload, "matrix", workload))
+        return cls(getattr(workload, "matrix", workload), precision=precision)
+
+    @property
+    def fast(self) -> bool:
+        """Whether fused tolerance-guarded shortcuts are allowed."""
+        return self.precision == "fast"
 
     @property
     def row_lengths(self) -> np.ndarray:
@@ -118,17 +138,59 @@ class LaunchContext:
             self._sorted_f64 = np.sort(self.row_lengths_f64)
         return self._sorted_f64
 
+    @property
+    def sorted_prefix_sum(self) -> np.ndarray:
+        """Prefix sums of the sorted row lengths (fast-mode shared pass).
+
+        One sequential ``cumsum`` over the shared sorted copy answers every
+        clamped-stream query in O(log n); sequential accumulation rounds
+        differently from the exact path's pairwise sums, which is why only
+        fast mode consults it.
+        """
+        if self._sorted_prefix_sum is None:
+            self._sorted_prefix_sum = np.cumsum(self.sorted_row_lengths_f64)
+        return self._sorted_prefix_sum
+
+    @property
+    def sorted_prefix_sum_squares(self) -> np.ndarray:
+        """Prefix sums of the squared sorted row lengths (fast mode only).
+
+        Together with :attr:`sorted_prefix_sum` this answers any piecewise-
+        quadratic row-length reduction (e.g. the CSR,TM uncoalesced-penalty
+        traffic) from two binary searches instead of an O(n) pass.
+        """
+        if self._sorted_prefix_sq is None:
+            lengths = self.sorted_row_lengths_f64
+            self._sorted_prefix_sq = np.cumsum(lengths * lengths)
+        return self._sorted_prefix_sq
+
     def grouped_max(self, group_size: int) -> np.ndarray:
         """Grouped maximum of the row lengths (zero-padded tail).
 
         Row-mapped kernels apply monotone per-lane cycle transforms, which
         commute with ``max``; taking the grouped maximum over the raw row
         lengths lets every kernel with the same group size share it and run
-        its transform on the ``group_size``-times-smaller array.
+        its transform on the ``group_size``-times-smaller array.  In fast
+        mode a coarse grouping is reduced from the largest already-cached
+        divisor grouping instead of the full row array (``max`` composes
+        hierarchically over zero-padded tails because lengths are
+        non-negative).
         """
         cached = self._grouped_max.get(group_size)
         if cached is None:
-            cached = group_reduce_max(self.row_lengths_f64, group_size)
+            if self.fast:
+                divisors = [
+                    size
+                    for size in self._grouped_max
+                    if 1 < size < group_size and group_size % size == 0
+                ]
+                if divisors:
+                    base = max(divisors)
+                    cached = group_reduce_max(
+                        self._grouped_max[base], group_size // base
+                    )
+            if cached is None:
+                cached = group_reduce_max(self.row_lengths_f64, group_size)
             self._grouped_max[group_size] = cached
         return cached
 
@@ -138,13 +200,34 @@ class LaunchContext:
         The per-row DRAM traffic with a minimum-transaction floor; the
         warp- and block-mapped kernels use identical expressions, so the
         reduction is cached per (bytes, floor) pair.
+
+        Fast mode answers from the shared sorted prefix sums instead of a
+        fresh multiply/maximum/sum pass: with ``k`` rows shorter than
+        ``floor / bytes_per_nonzero``, the total is ``floor * k +
+        bytes_per_nonzero * (total_length - prefix[k])`` — one binary
+        search per (bytes, floor) pair, no O(n) work after the first query.
         """
         key = (bytes_per_nonzero, floor)
         cached = self._clamped_stream.get(key)
         if cached is None:
-            cached = float(
-                np.maximum(self.row_lengths_f64 * bytes_per_nonzero, floor).sum()
-            )
+            if self.fast:
+                sorted_lengths = self.sorted_row_lengths_f64
+                if sorted_lengths.size == 0:
+                    cached = 0.0
+                else:
+                    prefix = self.sorted_prefix_sum
+                    clamped = int(
+                        np.searchsorted(
+                            sorted_lengths, floor / bytes_per_nonzero, side="left"
+                        )
+                    )
+                    total = float(prefix[-1])
+                    below = float(prefix[clamped - 1]) if clamped else 0.0
+                    cached = floor * clamped + bytes_per_nonzero * (total - below)
+            else:
+                cached = float(
+                    np.maximum(self.row_lengths_f64 * bytes_per_nonzero, floor).sum()
+                )
             self._clamped_stream[key] = cached
         return cached
 
@@ -338,8 +421,16 @@ class SpmvKernel(abc.ABC):
         occupancy_factor: float = 1.0,
         extra_launches: int = 0,
         serial_cycles: float = 0.0,
+        repeat: int = 1,
     ) -> LaunchSpec:
-        """Build a launch spec labelled and bandwidth-scaled for this kernel."""
+        """Build a launch spec labelled and bandwidth-scaled for this kernel.
+
+        ``repeat`` describes uniform wavefront blocks symbolically (the
+        spec behaves as the element-wise ``np.repeat`` expansion); cost
+        models may only emit ``repeat > 1`` when ``context.fast`` — the
+        exact path materializes the expansion so it stays bit-identical to
+        the scalar reference.
+        """
         return LaunchSpec(
             wavefront_cycles=as_wavefront_cycles(wavefront_cycles),
             bytes_moved=float(bytes_moved),
@@ -348,21 +439,30 @@ class SpmvKernel(abc.ABC):
             extra_launches=extra_launches,
             bandwidth_utilization=self.bandwidth_utilization,
             serial_cycles=serial_cycles,
+            repeat=repeat,
         )
 
 
-def batch_timings(kernels, workload, context=None) -> dict:
+def batch_timings(kernels, workload, context=None, precision: str = "exact") -> dict:
     """Timings of many kernels over one workload through the batched simulator.
 
     Builds one shared :class:`LaunchContext`, collects every supported
     kernel's :class:`~repro.gpu.simulator.LaunchSpec` and simulates them with
     :func:`~repro.gpu.simulator.simulate_launch_batch`.  Returns ``{kernel
     name: KernelTiming}``; kernels that cannot process the workload are
-    absent (callers record those as unsupported).  Bit-identical to calling
-    :meth:`SpmvKernel.timing` per kernel — both paths simulate the same
-    specs.
+    absent (callers record those as unsupported).
+
+    With ``precision="exact"`` (the default) this is bit-identical to
+    calling :meth:`SpmvKernel.timing` per kernel — both paths simulate the
+    same specs.  With ``precision="fast"`` the context's fused shortcuts
+    and the simulator's concatenated segment reductions apply, and results
+    agree with the scalar reference only to within
+    :data:`~repro.gpu.simulator.FAST_MODE_RELATIVE_TOLERANCE`.  When an
+    explicit ``context`` is passed its own precision governs the spec
+    builders; ``precision`` still selects the simulator path.
     """
-    context = LaunchContext.of(workload, context)
+    check_precision(precision)
+    context = LaunchContext.of(workload, context, precision=precision)
     supported = []
     specs = []
     for kernel in kernels:
@@ -375,7 +475,9 @@ def batch_timings(kernels, workload, context=None) -> dict:
     for index, kernel in enumerate(supported):
         device_groups.setdefault(kernel.device, []).append(index)
     for device, indices in device_groups.items():
-        launches = simulate_launch_batch(device, [specs[i] for i in indices])
+        launches = simulate_launch_batch(
+            device, [specs[i] for i in indices], precision=precision
+        )
         for index, launch in zip(indices, launches):
             results[index] = launch
     timings = {}

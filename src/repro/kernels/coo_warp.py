@@ -49,7 +49,6 @@ class CooWarpMapped(SpmvKernel):
             + WAVE_REDUCTION_CYCLES
             + ATOMIC_CYCLES * boundaries_per_wave
         )
-        wavefront_cycles = np.full(num_waves, wave_cycles, dtype=np.float64)
         bytes_moved = (
             matrix.nnz * COO_NNZ_BYTES
             + matrix.num_rows * VALUE_BYTES
@@ -59,6 +58,15 @@ class CooWarpMapped(SpmvKernel):
         # through the global atomic unit; matrices with millions of short
         # rows therefore serialize on it.
         serial_cycles = occupied_rows / ATOMIC_THROUGHPUT_PER_CYCLE
+        if context.fast:
+            # Uniform wave cost: one element plus a symbolic repeat count.
+            return self._spec(
+                [wave_cycles],
+                bytes_moved,
+                serial_cycles=serial_cycles,
+                repeat=num_waves,
+            )
+        wavefront_cycles = np.full(num_waves, wave_cycles, dtype=np.float64)
         return self._spec(
             wavefront_cycles, bytes_moved, serial_cycles=serial_cycles
         )

@@ -38,6 +38,26 @@ BINNING_OPS_PER_ROW = 1.0
 VENDOR_CPN = 3.5
 
 
+def _fast_block_sums(context, split: int, rows_per_block: int) -> np.ndarray:
+    """Per-block nonzero sums of the short rows from the shared prefix sums.
+
+    The blocks tile the first ``split`` entries of the sorted order, so each
+    block sum is a difference of two prefix-sum entries — no fresh grouped
+    reduction pass.  Sequential prefix accumulation rounds differently from
+    the exact path's pairwise group sums (tolerance-guarded).
+    """
+    prefix = context.sorted_prefix_sum
+    num_blocks = -(-split // rows_per_block)
+    ends = np.minimum(
+        np.arange(1, num_blocks + 1, dtype=np.intp) * rows_per_block, split
+    )
+    boundary = prefix[ends - 1]
+    block_nnz = np.empty(num_blocks, dtype=np.float64)
+    block_nnz[0] = boundary[0]
+    np.subtract(boundary[1:], boundary[:-1], out=block_nnz[1:])
+    return block_nnz
+
+
 class CsrAdaptive(SpmvKernel):
     """Adaptive-CSR: row binning preprocessing plus streamed execution."""
 
@@ -72,7 +92,12 @@ class CsrAdaptive(SpmvKernel):
             # Stream path: like-sized rows are packed into blocks of roughly
             # ROW_BLOCK_NNZ nonzeros; each block is one wavefront streaming
             # through the LDS with negligible imbalance.
-            block_nnz = group_reduce_sum(short, self._rows_per_block(short))
+            if context.fast:
+                block_nnz = _fast_block_sums(
+                    context, split, self._rows_per_block_fast(context, split)
+                )
+            else:
+                block_nnz = group_reduce_sum(short, self._rows_per_block(short))
             wave_costs.append(
                 block_nnz / self.device.simd_width * self.cycles_per_nonzero
                 + WAVE_REDUCTION_CYCLES
@@ -98,6 +123,13 @@ class CsrAdaptive(SpmvKernel):
     def _rows_per_block(self, short_row_lengths: np.ndarray) -> int:
         """How many sorted short rows fit in one ROW_BLOCK_NNZ-sized block."""
         mean_length = float(short_row_lengths.mean()) if short_row_lengths.size else 1.0
+        return max(1, int(ROW_BLOCK_NNZ / max(mean_length, 1.0)))
+
+    def _rows_per_block_fast(self, context, split: int) -> int:
+        """Fast-mode :meth:`_rows_per_block` from the shared prefix sums."""
+        if split == 0:
+            return max(1, int(ROW_BLOCK_NNZ))
+        mean_length = float(context.sorted_prefix_sum[split - 1]) / split
         return max(1, int(ROW_BLOCK_NNZ / max(mean_length, 1.0)))
 
 

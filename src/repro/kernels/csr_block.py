@@ -49,10 +49,6 @@ class CsrBlockMapped(SpmvKernel):
         workgroup_cycles = np.ceil(context.row_lengths_f64 / group_width)
         workgroup_cycles *= CYCLES_PER_NONZERO
         workgroup_cycles += BLOCK_REDUCTION_CYCLES + ROW_OVERHEAD_CYCLES
-        # Every wavefront of the workgroup is busy for the workgroup's
-        # duration, so the launch contains WAVES_PER_WORKGROUP waves per row
-        # with the same cost.
-        wavefront_cycles = np.repeat(workgroup_cycles, WAVES_PER_WORKGROUP)
         stream_bytes = context.clamped_stream_bytes(
             CSR_NNZ_BYTES, MIN_ROW_TRANSACTION_BYTES
         )
@@ -62,6 +58,17 @@ class CsrBlockMapped(SpmvKernel):
             + matrix.num_rows * VALUE_BYTES
             + self._gather_bytes(matrix, matrix.nnz)
         )
+        # Every wavefront of the workgroup is busy for the workgroup's
+        # duration, so the launch contains WAVES_PER_WORKGROUP waves per row
+        # with the same cost.  Fast mode keeps the expansion symbolic.
+        if context.fast:
+            return self._spec(
+                workgroup_cycles,
+                bytes_moved,
+                occupancy_factor=BLOCK_OCCUPANCY,
+                repeat=WAVES_PER_WORKGROUP,
+            )
+        wavefront_cycles = np.repeat(workgroup_cycles, WAVES_PER_WORKGROUP)
         return self._spec(
             wavefront_cycles, bytes_moved, occupancy_factor=BLOCK_OCCUPANCY
         )

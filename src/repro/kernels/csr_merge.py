@@ -56,7 +56,7 @@ class _MergeBased(SpmvKernel):
     searches_per_wave = 1.0
 
     def _merge_spec(self, matrix: CSRMatrix, items_per_lane: float, num_waves: int,
-                    extra_launches: int) -> LaunchSpec:
+                    extra_launches: int, context: LaunchContext = None) -> LaunchSpec:
         total_work = matrix.nnz + matrix.num_rows
         search_depth = np.log2(max(total_work, 2))
         search_cycles = MERGE_SEARCH_CYCLES + 4.0 * search_depth
@@ -64,7 +64,6 @@ class _MergeBased(SpmvKernel):
             items_per_lane * CYCLES_PER_NONZERO * MERGE_ITEM_OVERHEAD
             + search_cycles
         )
-        wavefront_cycles = np.full(max(num_waves, 1), lane_cycles, dtype=np.float64)
         partial_sum_bytes = num_waves * self.device.simd_width * VALUE_BYTES
         search_bytes = (
             num_waves * self.searches_per_wave * search_depth * SEARCH_PROBE_BYTES
@@ -75,6 +74,16 @@ class _MergeBased(SpmvKernel):
             + 2.0 * partial_sum_bytes
             + search_bytes
         )
+        if context is not None and context.fast:
+            # Merge-path slices are equal by construction; keep the uniform
+            # wave block symbolic instead of materializing it.
+            return self._spec(
+                [float(lane_cycles)],
+                bytes_moved,
+                extra_launches=extra_launches,
+                repeat=max(num_waves, 1),
+            )
+        wavefront_cycles = np.full(max(num_waves, 1), lane_cycles, dtype=np.float64)
         return self._spec(
             wavefront_cycles, bytes_moved, extra_launches=extra_launches
         )
@@ -100,7 +109,9 @@ class CsrWorkOriented(_MergeBased):
         items_per_lane = float(np.ceil(max(total_work, 1) / total_lanes))
         lanes_needed = int(np.ceil(max(total_work, 1) / items_per_lane))
         num_waves = min(slots, int(np.ceil(lanes_needed / self.device.simd_width)))
-        return self._merge_spec(matrix, items_per_lane, num_waves, extra_launches=1)
+        return self._merge_spec(
+            matrix, items_per_lane, num_waves, extra_launches=1, context=context
+        )
 
 
 class CsrMergePath(_MergeBased):
@@ -121,4 +132,6 @@ class CsrMergePath(_MergeBased):
         total_work = matrix.nnz + matrix.num_rows
         num_waves = int(np.ceil(max(total_work, 1) / MP_ITEMS_PER_WAVE))
         items_per_lane = MP_ITEMS_PER_WAVE / self.device.simd_width
-        return self._merge_spec(matrix, items_per_lane, num_waves, extra_launches=1)
+        return self._merge_spec(
+            matrix, items_per_lane, num_waves, extra_launches=1, context=context
+        )

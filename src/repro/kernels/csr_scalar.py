@@ -38,6 +38,40 @@ def uncoalesced_penalty(row_lengths: np.ndarray) -> np.ndarray:
     return np.clip((lengths - 2.0) / 2.0, 1.0, MAX_COALESCING_PENALTY)
 
 
+def _fast_penalized_stream_bytes(context: LaunchContext) -> float:
+    """``sum(row_length * CSR_NNZ_BYTES * penalty)`` from shared prefix sums.
+
+    The penalty is piecewise in the row length ``r`` — ``1`` for ``r <= 4``,
+    ``(r - 2) / 2`` for ``4 < r < 18`` and ``MAX_COALESCING_PENALTY`` past
+    ``r >= 18`` — so the weighted sum splits into three ranges of the
+    shared sorted order, each answered by the cached prefix sums of the
+    lengths and their squares (tolerance-guarded: the prefix sums
+    accumulate sequentially, the exact path pairwise).
+    """
+    lengths = context.sorted_row_lengths_f64
+    if lengths.size == 0:
+        return 0.0
+    prefix = context.sorted_prefix_sum
+    prefix_sq = context.sorted_prefix_sum_squares
+    flat_end = int(np.searchsorted(lengths, 4.0, side="right"))
+    saturated_start = int(np.searchsorted(lengths, 18.0, side="left"))
+
+    def range_sum(table, start, stop):
+        if stop <= start:
+            return 0.0
+        below = float(table[start - 1]) if start else 0.0
+        return float(table[stop - 1]) - below
+
+    flat = range_sum(prefix, 0, flat_end)
+    ramp_lengths = range_sum(prefix, flat_end, saturated_start)
+    ramp_squares = range_sum(prefix_sq, flat_end, saturated_start)
+    ramp = (ramp_squares - 2.0 * ramp_lengths) / 2.0
+    saturated = MAX_COALESCING_PENALTY * range_sum(
+        prefix, saturated_start, lengths.size
+    )
+    return CSR_NNZ_BYTES * (flat + ramp + saturated)
+
+
 class CsrThreadMapped(SpmvKernel):
     """One row per thread over CSR."""
 
@@ -57,8 +91,11 @@ class CsrThreadMapped(SpmvKernel):
             context.grouped_max(self.device.simd_width) * CYCLES_PER_NONZERO
             + ROW_OVERHEAD_CYCLES
         )
-        penalty = uncoalesced_penalty(row_lengths)
-        stream_bytes = float((row_lengths * CSR_NNZ_BYTES * penalty).sum())
+        if context.fast:
+            stream_bytes = _fast_penalized_stream_bytes(context)
+        else:
+            penalty = uncoalesced_penalty(row_lengths)
+            stream_bytes = float((row_lengths * CSR_NNZ_BYTES * penalty).sum())
         bytes_moved = (
             stream_bytes
             + (matrix.num_rows + 1) * INDEX_BYTES

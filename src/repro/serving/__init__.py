@@ -7,6 +7,10 @@ trees, select kernels at runtime for pennies):
 * :mod:`repro.serving.compiled` — fitted decision trees flattened into
   NumPy arrays so N feature rows are classified in a handful of vectorized
   passes (:meth:`SeerModels.predict_batch` rides on this);
+* :mod:`repro.serving.backends` — the three interchangeable inference
+  backends (``compiled``/``codegen``/``recursive``) behind one
+  ``predict_batch`` interface, including the generated-Python
+  ``selector.py`` cache the codegen backend serves natively;
 * :mod:`repro.serving.artifacts` — canonical ``model.json`` documents:
   byte-stable serialization of a full :class:`~repro.core.training.SeerModels`
   with eager validation on load;
@@ -39,6 +43,17 @@ from repro.serving.artifacts import (
     tree_from_payload,
     tree_to_payload,
 )
+from repro.serving.backends import (
+    BACKEND_MODES,
+    SELECTOR_MODULE_NAME,
+    BackendError,
+    CodegenBackend,
+    CompiledBackend,
+    RecursiveBackend,
+    check_backend,
+    emit_selector_module,
+    make_backend,
+)
 from repro.serving.compiled import CompiledTree, compile_tree
 from repro.serving.ingest import (
     DECISIONS_FILE_NAME,
@@ -61,6 +76,15 @@ from repro.serving.requests import (
 )
 
 __all__ = [
+    "BACKEND_MODES",
+    "BackendError",
+    "CodegenBackend",
+    "CompiledBackend",
+    "RecursiveBackend",
+    "SELECTOR_MODULE_NAME",
+    "check_backend",
+    "emit_selector_module",
+    "make_backend",
     "DECISIONS_FILE_NAME",
     "IngestCache",
     "IngestError",

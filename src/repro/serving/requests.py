@@ -71,7 +71,8 @@ REQUEST_FORMAT_VERSION = 1
 #: Keys a :class:`ServeRequest` payload may carry; anything else is rejected
 #: loudly (a typo silently ignored would serve the wrong workload).
 REQUEST_PAYLOAD_KEYS = frozenset(
-    {"name", "source", "known", "gathered", "iterations", "options", "model"}
+    {"name", "source", "known", "gathered", "iterations", "options", "model",
+     "backend"}
 )
 
 
@@ -183,7 +184,10 @@ class ServeRequest:
     ``options`` are domain workload parameters (e.g. SpMM's
     ``num_vectors``), ``model`` optionally selects which hot-loaded model a
     daemon should serve the request with (``"<domain>"`` or
-    ``"<domain>/<profile>"``; ``None`` = the daemon's default).
+    ``"<domain>/<profile>"``; ``None`` = the daemon's default), and
+    ``backend`` optionally overrides the daemon's inference backend for
+    this request (``"compiled"``, ``"codegen"`` or ``"recursive"``; ``None``
+    = the daemon's configured default).
     """
 
     name: Optional[str] = None
@@ -193,6 +197,7 @@ class ServeRequest:
     iterations: int = 1
     options: Dict[str, float] = field(default_factory=dict)
     model: Optional[str] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.source is None) == (self.known is None):
@@ -208,6 +213,13 @@ class ServeRequest:
             raise IngestError(
                 f"iterations must be >= 1, got {self.iterations!r}"
             )
+        if self.backend is not None:
+            from repro.serving.backends import BackendError, check_backend
+
+            try:
+                check_backend(self.backend)
+            except BackendError as error:
+                raise IngestError(str(error)) from None
 
     @property
     def is_inline(self) -> bool:
@@ -260,6 +272,7 @@ class ServeRequest:
                 iterations=iterations,
                 options=dict(payload.get("options") or {}),
                 model=payload.get("model"),
+                backend=payload.get("backend"),
             )
         except IngestError as error:
             raise IngestError(f"{origin}:{line} {error}") from None
@@ -281,6 +294,8 @@ class ServeRequest:
             payload["options"] = dict(self.options)
         if self.model is not None:
             payload["model"] = self.model
+        if self.backend is not None:
+            payload["backend"] = self.backend
         return payload
 
 
@@ -557,6 +572,8 @@ def evaluate_requests(
     cache: "Optional[IngestCache]" = None,
     execute: bool = True,
     strict: bool = True,
+    backend=None,
+    precision: str = "exact",
 ) -> Tuple[List[Union[ServeResponse, ServeFailure, None]], EvaluationStats]:
     """Serve a batch of :class:`ServeRequest`\\ s in one vectorized pass.
 
@@ -569,6 +586,14 @@ def evaluate_requests(
     while every decision stays element-wise identical to the serial
     :meth:`~repro.core.inference.SeerPredictor.predict` flow.
 
+    ``backend`` optionally substitutes an inference backend from
+    :mod:`repro.serving.backends` (anything exposing the same
+    ``predict_batch``) for the models' compiled path — all backends agree
+    element-wise, so the decisions are unchanged.  ``precision`` governs
+    the *execution* stage of matrix-backed requests: ``"fast"`` times the
+    chosen kernel through the fused tolerance-guarded measurement path
+    instead of the exact reference (decisions are unaffected either way).
+
     ``cache`` is an :class:`~repro.serving.ingest.IngestCache` (or ``None``)
     used for matrix-reference requests.  With ``strict`` (the default for
     CLI paths) the first invalid request raises :class:`IngestError`; with
@@ -579,7 +604,10 @@ def evaluate_requests(
     :class:`ServeFailure` per request, in request order.
     """
     from repro.core.inference import TREE_EVALUATION_MS
+    from repro.gpu.simulator import check_precision
 
+    check_precision(precision)
+    predict_batch = models.predict_batch if backend is None else backend.predict_batch
     requests = list(requests)
     stats = EvaluationStats(requests=len(requests))
     domain = get_domain(domain) if any(not r.is_inline for r in requests) or domain is not None else None
@@ -611,7 +639,7 @@ def evaluate_requests(
     # One vectorized pass decides the routing and the known-path kernel for
     # the entire admission window.
     known_matrix = np.stack([item.known.as_vector() for item in prepared])
-    first_pass = models.predict_batch(known_matrix)
+    first_pass = predict_batch(known_matrix)
 
     # Collect (or accept inline) gathered features only for the rows the
     # selector actually routes through the paid path — exactly the Fig. 3
@@ -647,7 +675,7 @@ def evaluate_requests(
         routed_gathered = np.stack(
             [gathered.as_vector() for _, gathered in routed]
         )
-        second_pass = models.predict_batch(routed_known, routed_gathered)
+        second_pass = predict_batch(routed_known, routed_gathered)
         for (position, gathered), kernel in zip(
             routed, second_pass.gathered_kernels
         ):
@@ -675,7 +703,14 @@ def evaluate_requests(
             executed = True
             kernel = domain.make_kernel(kernel_name, device)
             try:
-                timing = kernel.timing(item.workload)
+                timing_context = None
+                if precision != "exact":
+                    from repro.kernels.base import LaunchContext
+
+                    timing_context = LaunchContext.of(
+                        item.workload, precision=precision
+                    )
+                timing = kernel.timing(item.workload, timing_context)
                 preprocessing_ms = timing.preprocessing_ms
                 runtime_ms = timing.iteration_ms
             except UnsupportedKernelError:

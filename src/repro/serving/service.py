@@ -159,6 +159,8 @@ _CONFIG_KEYS = frozenset(
         "execute",
         "feedback_dir",
         "drift_threshold",
+        "backend",
+        "precision",
     }
 )
 
@@ -189,6 +191,15 @@ class ServiceConfig:
     execute: bool = True
     feedback_dir: Optional[str] = None
     drift_threshold: float = 0.1
+    #: Default inference backend: ``compiled`` (vectorized flattened trees),
+    #: ``codegen`` (the generated-Python selector module cached next to
+    #: ``model.json``) or ``recursive`` (per-row reference walks).  Requests
+    #: may override it per call via their ``backend`` field.
+    backend: str = "compiled"
+    #: Measurement precision of the execution stage: ``exact`` (the
+    #: golden-pinned reference) or ``fast`` (the fused tolerance-guarded
+    #: path).  Selection decisions are identical either way.
+    precision: str = "exact"
     options: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -215,6 +226,17 @@ class ServiceConfig:
             raise ServiceConfigError(
                 f"drift_threshold must be > 0, got {self.drift_threshold!r}"
             )
+        from repro.gpu.simulator import check_precision
+        from repro.serving.backends import BackendError, check_backend
+
+        try:
+            check_backend(self.backend)
+        except BackendError as error:
+            raise ServiceConfigError(str(error)) from None
+        try:
+            check_precision(self.precision)
+        except ValueError as error:
+            raise ServiceConfigError(str(error)) from None
 
     @classmethod
     def from_mapping(cls, data: dict, origin: str = "config") -> "ServiceConfig":
@@ -281,6 +303,7 @@ class ModelHub:
         self._lock = threading.Lock()
         self._artifacts: dict = {}
         self._pipelines: dict = {}
+        self._backends: dict = {}
 
     @property
     def default_key(self) -> str:
@@ -356,9 +379,42 @@ class ModelHub:
                 self._pipelines[domain.name] = pipeline
             return pipeline
 
+    def backend_for(self, key: str, artifact, backend_name=None):
+        """The inference backend serving ``key``'s artifact.
+
+        Backend objects cache per ``(key, backend)`` pair, but — like the
+        artifact cache — each entry remembers the ``model.json`` path it was
+        built from: when a promotion hot-reloads the artifact, the next call
+        rebuilds the backend, and for ``codegen`` that rebuild atomically
+        re-emits the generated ``selector.py`` next to the *new* model — a
+        flipped ``current.json`` pointer swaps the served generated code
+        without a restart.
+        """
+        from repro.serving.backends import BackendError, check_backend, make_backend
+
+        try:
+            name = check_backend(backend_name or self.config.backend)
+        except BackendError as error:
+            raise IngestError(str(error)) from None
+        path = getattr(artifact, "path", None)
+        with self._lock:
+            entry = self._backends.get((key, name))
+            if entry is None or entry[0] != path:
+                try:
+                    entry = (path, make_backend(name, artifact.models, model_path=path))
+                except BackendError as error:
+                    raise IngestError(str(error)) from None
+                self._backends[(key, name)] = entry
+            return entry[1]
+
     def loaded_models(self) -> list:
         with self._lock:
             return sorted(self._artifacts)
+
+    def loaded_backends(self) -> list:
+        """``"<key>:<backend>"`` labels of every instantiated backend."""
+        with self._lock:
+            return sorted(f"{key}:{name}" for key, name in self._backends)
 
 
 # ----------------------------------------------------------------------
@@ -637,11 +693,17 @@ class _Handler(BaseHTTPRequestHandler):
                         "status": "ok",
                         "default_model": service.hub.default_key,
                         "loaded_models": service.hub.loaded_models(),
+                        "backend": service.config.backend,
+                        "loaded_backends": service.hub.loaded_backends(),
+                        "precision": service.config.precision,
                     },
                 )
         elif self.path == "/metrics":
             payload = service.metrics.snapshot()
             payload["drift"] = service.drift_status()
+            payload["backend"] = service.config.backend
+            payload["loaded_backends"] = service.hub.loaded_backends()
+            payload["precision"] = service.config.precision
             self._send_json(200, payload)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
@@ -825,11 +887,21 @@ class ServingService:
                 # them so the request/failure totals stay exhaustive.
                 self.metrics.record_results([results[index]], _EMPTY_STATS, [])
                 continue
-            groups.setdefault(key, ([], []))
-            groups[key][0].append(index)
-            groups[key][1].append(request)
-        for key, (slots, group) in sorted(groups.items()):
+            backend_name = request.backend or self.config.backend
+            groups.setdefault((key, backend_name), ([], []))
+            groups[(key, backend_name)][0].append(index)
+            groups[(key, backend_name)][1].append(request)
+        for (key, backend_name), (slots, group) in sorted(groups.items()):
             _, artifact = self.hub.resolve(key)
+            try:
+                backend = self.hub.backend_for(key, artifact, backend_name)
+            except IngestError as error:
+                for slot, request in zip(slots, group):
+                    results[slot] = ServeFailure(
+                        name=request.name or f"request[{slot}]", error=str(error)
+                    )
+                    self.metrics.record_results([results[slot]], _EMPTY_STATS, [])
+                continue
             needs_domain = any(not r.is_inline for r in group)
             domain = artifact.domain_name if needs_domain else None
             pipeline = self.hub.pipeline_for(artifact) if needs_domain else None
@@ -842,6 +914,8 @@ class ServingService:
                 cache=self.cache,
                 execute=self.config.execute,
                 strict=False,
+                backend=backend,
+                precision=self.config.precision,
             )
             self.metrics.record_results(group_results, stats, [])
             for slot, result in zip(slots, group_results):
@@ -1007,6 +1081,9 @@ class ServingService:
                 "max_batch_size": self.config.max_batch_size,
                 "max_wait_ms": self.config.max_wait_ms,
                 "execute": self.config.execute,
+                "backend": self.config.backend,
+                "loaded_backends": self.hub.loaded_backends(),
+                "precision": self.config.precision,
             },
             "metrics": self.metrics.snapshot(),
             "drift": self.drift_status(),

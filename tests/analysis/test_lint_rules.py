@@ -346,3 +346,72 @@ def test_api001_ignores_the_replacement_api():
             return predictor.predict(matrix, iterations=1)
         """
     )
+
+
+# ----------------------------------------------------------------------
+# ENV001 — SEER_* environment reads outside entry-point modules
+# ----------------------------------------------------------------------
+def test_env001_flags_every_read_spelling():
+    text = """
+        import os
+        from os import environ
+        def configure():
+            a = os.environ.get("SEER_JOBS")
+            b = os.getenv("SEER_CACHE_DIR", "")
+            c = environ["SEER_SCALAR_TIMING"]
+            d = "SEER_JOBS" in os.environ
+            return a, b, c, d
+        """
+    assert [rule for rule, _ in rules_at(text, module="core/benchmarking.py")] == [
+        "ENV001"
+    ] * 4
+    assert fired(text, module="serving/service.py") == {"ENV001"}
+
+
+def test_env001_ignores_foreign_variables_and_entry_points():
+    text = """
+        import os
+        def configure(environ):
+            home = os.environ.get("HOME")
+            jobs = environ.get("SEER_JOBS")
+            return home, jobs
+        """
+    # Non-SEER variables are not this rule's business ...
+    assert "ENV001" not in fired(
+        """
+        import os
+        def configure():
+            return os.environ.get("PATH"), os.getenv("HOME")
+        """
+    )
+    # ... and the designated entry-point module may read SEER_*.
+    assert "ENV001" not in fired(text, module="bench/engine.py")
+    assert "ENV001" in fired(text, module="serving/ingest.py")
+
+
+def test_env001_accepts_threaded_parameters():
+    assert "ENV001" not in fired(
+        """
+        def measure(timing_mode=None, precision="exact"):
+            return timing_mode or "batched", precision
+        """
+    )
+
+
+def test_env001_respects_the_deprecated_fallbacks_inline_disable():
+    assert "ENV001" not in fired(
+        """
+        def timing_mode_from_env(environ=None):
+            value = environ.get("SEER_SCALAR_TIMING")  # repro-lint: disable=ENV001
+            return "scalar" if value else "batched"
+        """,
+        module="core/benchmarking.py",
+    )
+
+
+def test_env001_guards_the_real_tree():
+    """The package itself must be ENV001-clean (only sanctioned reads)."""
+    from repro.analysis import lint_package
+
+    report = lint_package(select=["ENV001"])
+    assert report.clean, [f.render() for f in report.findings]

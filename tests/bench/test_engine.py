@@ -414,3 +414,100 @@ def test_truncated_zip_matrix_artifact_is_regenerated(tmp_path):
     artifact = tmp_path / "bad.npz"
     artifact.write_bytes(b"PK\x03\x04" + b"\x00" * 16)
     assert _load_matrix_artifact(artifact) is None
+
+
+# ----------------------------------------------------------------------
+# Precision and timing-mode threading
+# ----------------------------------------------------------------------
+def test_fast_engine_sweep_stays_within_tolerance(tiny_sweep):
+    from repro.gpu.simulator import FAST_MODE_RELATIVE_TOLERANCE
+
+    engine = SweepEngine(precision="fast")
+    assert engine.describe()["precision"] == "fast"
+    fast = run_sweep(profile="tiny", iteration_counts=(1, 19), engine=engine)
+    assert fast.suite.names() == tiny_sweep.suite.names()
+    for exact_m, fast_m in zip(tiny_sweep.suite, fast.suite):
+        # Features and preprocessing never run through the fused tables.
+        assert fast_m.known == exact_m.known
+        assert fast_m.gathered == exact_m.gathered
+        assert fast_m.kernel_preprocessing_ms == exact_m.kernel_preprocessing_ms
+        for kernel, reference in exact_m.kernel_runtime_ms.items():
+            value = fast_m.kernel_runtime_ms[kernel]
+            if value != reference:  # covers inf == inf for unsupported kernels
+                error = abs(value - reference) / abs(reference)
+                assert error <= FAST_MODE_RELATIVE_TOLERANCE, (kernel, error)
+
+
+def test_precision_participates_in_cache_keys_timing_mode_does_not():
+    """Fast artifacts are only tolerance-close, so they get their own keys;
+    scalar and batched exact timings are bit-identical, so they share."""
+    spec = collection_specs("tiny")[0]
+    exact = measurement_key(spec, KERNELS, MI100)
+    assert measurement_key(spec, KERNELS, MI100, precision="exact") == exact
+    assert measurement_key(spec, KERNELS, MI100, precision="fast") != exact
+    base = sweep_config_key("tiny", 0, 1, (1,), MI100, KERNELS, None, None)
+    assert (
+        sweep_config_key(
+            "tiny", 0, 1, (1,), MI100, KERNELS, None, None, precision="fast"
+        )
+        != base
+    )
+    assert (
+        sweep_config_key(
+            "tiny", 0, 1, (1,), MI100, KERNELS, None, None, precision="exact"
+        )
+        == base
+    )
+
+
+def test_fast_and_exact_cache_tiers_do_not_collide(tmp_path, monkeypatch):
+    exact_engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+    run_sweep(profile="tiny", iteration_counts=(1,), engine=exact_engine)
+    fast_engine = SweepEngine(jobs=1, cache_dir=tmp_path, precision="fast")
+    run_sweep(profile="tiny", iteration_counts=(1,), engine=fast_engine)
+    # The fast run never served the exact artifacts (or vice versa) ...
+    assert fast_engine.stats.sweep_cache_misses == 1
+    assert fast_engine.stats.measurement_cache_hits == 0
+    assert fast_engine.stats.matrices_measured > 0
+    # ... but a second fast engine is served entirely from its own tier.
+    _forbid_benchmarking(monkeypatch)
+    warm = SweepEngine(jobs=1, cache_dir=tmp_path, precision="fast")
+    run_sweep(profile="tiny", iteration_counts=(1,), engine=warm)
+    assert warm.stats.sweep_cache_hits == 1
+    assert warm.stats.matrices_measured == 0
+
+
+def test_engine_validates_timing_mode_and_precision():
+    engine = SweepEngine(timing_mode="scalar")  # scalar + exact is fine
+    assert engine.describe()["timing_mode"] == "scalar"
+    with pytest.raises(ValueError, match="ground-truth"):
+        SweepEngine(timing_mode="scalar", precision="fast")
+    with pytest.raises(ValueError, match="timing_mode"):
+        SweepEngine(timing_mode="turbo")
+    with pytest.raises(ValueError, match="precision"):
+        SweepEngine(precision="approximate")
+
+
+def test_engine_from_env_threads_timing_and_precision():
+    engine = engine_from_env({}, precision="fast")
+    assert engine is not None and engine.precision == "fast"
+    assert engine_from_env({}, precision="exact") is None
+    engine = engine_from_env({}, timing_mode="scalar")
+    assert engine is not None and engine.timing_mode == "scalar"
+    # The deprecated env switch resolves once, at engine construction ...
+    engine = engine_from_env({"SEER_SCALAR_TIMING": "1"}, jobs=2)
+    assert engine.timing_mode == "scalar"
+    # ... but alone it still selects the serial reference path, whose
+    # measure_matrix fallback honors it per call.
+    assert engine_from_env({"SEER_SCALAR_TIMING": "1"}) is None
+
+
+def test_scalar_engine_matches_batched_engine():
+    scalar = SweepEngine(jobs=1, timing_mode="scalar")
+    batched = SweepEngine(jobs=1, timing_mode="batched")
+    specs = collection_specs("tiny")[:3]
+    scalar_ms = scalar.measure_specs(specs, KERNELS)
+    batched_ms = batched.measure_specs(specs, KERNELS)
+    for s, b in zip(scalar_ms, batched_ms):
+        assert s.kernel_runtime_ms == b.kernel_runtime_ms
+        assert s.kernel_preprocessing_ms == b.kernel_preprocessing_ms

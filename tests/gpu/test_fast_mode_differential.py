@@ -1,0 +1,213 @@
+"""Differential tests: the fast fused measurement path vs. the references.
+
+``precision="fast"`` trades the exact path's bit-identity for fused
+per-device launch tables, shared prefix-sum reductions and symbolic
+``repeat`` expansions.  The contract is a *documented* tolerance:
+every fast-mode timing agrees with the scalar ground truth to within
+:data:`~repro.gpu.simulator.FAST_MODE_RELATIVE_TOLERANCE`, while
+``precision="exact"`` — the default — remains bit-identical to the scalar
+loop on every input (so the golden artifacts cannot move).  Both domains
+are driven through hypothesis-generated adversarial matrices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benchmarking import check_timing_mode, measure_matrix, timing_mode_from_env
+from repro.domains import get_domain
+from repro.domains.spmm import SpmmWorkload
+from repro.gpu.simulator import FAST_MODE_RELATIVE_TOLERANCE, check_precision
+from repro.kernels.base import LaunchContext, batch_timings
+from repro.sparse.generators import matrix_from_row_lengths
+
+
+@st.composite
+def csr_matrices(draw):
+    """Small matrices with adversarial row-length mixes (empty/short/long)."""
+    lengths = draw(
+        st.lists(st.integers(min_value=0, max_value=24), min_size=1, max_size=50)
+    )
+    cols = draw(st.integers(min_value=max(lengths + [1]), max_value=96))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return matrix_from_row_lengths(np.array(lengths, dtype=np.int64), cols, rng=seed)
+
+
+def _scalar_timings(kernels, workload):
+    """The pre-batching ground truth: each kernel timed in isolation."""
+    return {
+        kernel.name: kernel.timing(workload)
+        for kernel in kernels
+        if kernel.supports(workload)
+    }
+
+
+def _relative_error(value: float, reference: float) -> float:
+    if value == reference:
+        return 0.0
+    return abs(value - reference) / max(abs(reference), 1e-300)
+
+
+def _assert_fast_within_tolerance(fast, scalar):
+    assert set(fast) == set(scalar)
+    for name, timing in fast.items():
+        reference = scalar[name]
+        # Preprocessing never goes through the launch tables: exact always.
+        assert timing.preprocessing_ms == reference.preprocessing_ms
+        error = _relative_error(timing.iteration_ms, reference.iteration_ms)
+        assert error <= FAST_MODE_RELATIVE_TOLERANCE, (
+            f"{name}: fast-mode relative error {error:.3e} exceeds the "
+            f"documented tolerance {FAST_MODE_RELATIVE_TOLERANCE:.1e}"
+        )
+        # The symbolic repeat expansion must preserve the launch geometry.
+        assert (
+            timing.iteration_detail.num_wavefronts
+            == reference.iteration_detail.num_wavefronts
+        )
+
+
+@given(csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_spmv_fast_timings_within_tolerance(matrix):
+    kernels = get_domain("spmv").default_kernels()
+    _assert_fast_within_tolerance(
+        batch_timings(kernels, matrix, precision="fast"),
+        _scalar_timings(kernels, matrix),
+    )
+
+
+@given(csr_matrices(), st.sampled_from([1, 4, 32, 128]))
+@settings(max_examples=40, deadline=None)
+def test_spmm_fast_timings_within_tolerance(matrix, num_vectors):
+    workload = SpmmWorkload(matrix=matrix, num_vectors=num_vectors)
+    kernels = get_domain("spmm").default_kernels()
+    _assert_fast_within_tolerance(
+        batch_timings(kernels, workload, precision="fast"),
+        _scalar_timings(kernels, workload),
+    )
+
+
+@given(csr_matrices())
+@settings(max_examples=20, deadline=None)
+def test_spmv_exact_precision_stays_bit_identical(matrix):
+    """``precision="exact"`` is the golden-pinned default: never a tolerance."""
+    kernels = get_domain("spmv").default_kernels()
+    exact = batch_timings(kernels, matrix, precision="exact")
+    scalar = _scalar_timings(kernels, matrix)
+    assert set(exact) == set(scalar)
+    for name, timing in exact.items():
+        assert timing.iteration_ms == scalar[name].iteration_ms
+        assert timing.iteration_detail == scalar[name].iteration_detail
+
+
+@given(csr_matrices())
+@settings(max_examples=10, deadline=None)
+def test_measure_matrix_fast_spmv(matrix):
+    """The full measurement (features included) honors the tolerance."""
+    domain = get_domain("spmv")
+    kernels = domain.default_kernels()
+    pipeline = domain.make_pipeline()
+    fast = measure_matrix(
+        "m", matrix, kernels, pipeline, domain=domain, precision="fast"
+    )
+    exact = measure_matrix("m", matrix, kernels, pipeline, domain=domain)
+    assert set(fast.kernel_runtime_ms) == set(exact.kernel_runtime_ms)
+    for name, value in fast.kernel_runtime_ms.items():
+        assert (
+            _relative_error(value, exact.kernel_runtime_ms[name])
+            <= FAST_MODE_RELATIVE_TOLERANCE
+        )
+    # Features never run through the fused tables: identical in both modes.
+    assert fast.known == exact.known
+    assert fast.gathered == exact.gathered
+    assert fast.kernel_preprocessing_ms == exact.kernel_preprocessing_ms
+
+
+@given(csr_matrices(), st.sampled_from([4, 32]))
+@settings(max_examples=10, deadline=None)
+def test_measure_matrix_fast_spmm(matrix, num_vectors):
+    domain = get_domain("spmm")
+    workload = SpmmWorkload(matrix=matrix, num_vectors=num_vectors)
+    kernels = domain.default_kernels()
+    pipeline = domain.make_pipeline()
+    fast = measure_matrix(
+        "m", workload, kernels, pipeline, domain=domain, precision="fast"
+    )
+    exact = measure_matrix("m", workload, kernels, pipeline, domain=domain)
+    assert set(fast.kernel_runtime_ms) == set(exact.kernel_runtime_ms)
+    for name, value in fast.kernel_runtime_ms.items():
+        assert (
+            _relative_error(value, exact.kernel_runtime_ms[name])
+            <= FAST_MODE_RELATIVE_TOLERANCE
+        )
+    assert fast.gathered == exact.gathered
+
+
+# ----------------------------------------------------------------------
+# Mode plumbing: explicit timing_mode / precision arguments
+# ----------------------------------------------------------------------
+def _measurement_fixture():
+    matrix = matrix_from_row_lengths(np.array([3, 0, 17, 5]), 32, rng=11)
+    domain = get_domain("spmv")
+    return matrix, domain, domain.default_kernels(), domain.make_pipeline()
+
+
+def test_explicit_timing_mode_matches_batched():
+    matrix, domain, kernels, pipeline = _measurement_fixture()
+    scalar = measure_matrix(
+        "m", matrix, kernels, pipeline, domain=domain, timing_mode="scalar"
+    )
+    batched = measure_matrix(
+        "m", matrix, kernels, pipeline, domain=domain, timing_mode="batched"
+    )
+    assert scalar.kernel_runtime_ms == batched.kernel_runtime_ms
+
+
+def test_scalar_timing_rejects_fast_precision():
+    matrix, domain, kernels, pipeline = _measurement_fixture()
+    with pytest.raises(ValueError, match="ground-truth"):
+        measure_matrix(
+            "m",
+            matrix,
+            kernels,
+            pipeline,
+            domain=domain,
+            timing_mode="scalar",
+            precision="fast",
+        )
+
+
+def test_timing_mode_and_vectorized_are_exclusive():
+    matrix, domain, kernels, pipeline = _measurement_fixture()
+    with pytest.raises(ValueError, match="not both"):
+        measure_matrix(
+            "m",
+            matrix,
+            kernels,
+            pipeline,
+            domain=domain,
+            timing_mode="batched",
+            vectorized=True,
+        )
+
+
+def test_mode_validators():
+    assert check_timing_mode("batched") == "batched"
+    assert check_precision("fast") == "fast"
+    with pytest.raises(ValueError):
+        check_timing_mode("turbo")
+    with pytest.raises(ValueError):
+        check_precision("approximate")
+    assert timing_mode_from_env({"SEER_SCALAR_TIMING": "1"}) == "scalar"
+    assert timing_mode_from_env({}) == "batched"
+
+
+def test_fast_context_governs_spec_builders():
+    """An explicit fast context drives the fused builders even without the
+    precision argument — the context's own mode wins."""
+    matrix, domain, kernels, _ = _measurement_fixture()
+    context = LaunchContext(matrix, precision="fast")
+    fast = batch_timings(kernels, matrix, context=context)
+    scalar = _scalar_timings(kernels, matrix)
+    _assert_fast_within_tolerance(fast, scalar)

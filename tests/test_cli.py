@@ -492,3 +492,71 @@ def test_cli_lint_list_rules(capsys):
     output = capsys.readouterr().out
     for rule in ("DET001", "DET004", "CONC001", "CONC003", "DOM001", "API001"):
         assert rule in output
+
+
+# ----------------------------------------------------------------------
+# Selector code generation: repro codegen
+# ----------------------------------------------------------------------
+def _tiny_saved_model(tmp_path):
+    from repro.core.training import SeerModels
+    from repro.ml.decision_tree import DecisionTreeClassifier
+    from repro.serving.artifacts import save_models
+
+    known_X = [[0.0], [1.0]]
+    full_X = [[0.0, 0.0], [1.0, 1.0]]
+    models = SeerModels(
+        known_model=DecisionTreeClassifier().fit(known_X, ["k1", "k2"]),
+        gathered_model=DecisionTreeClassifier().fit(full_X, ["k1", "k2"]),
+        selector_model=DecisionTreeClassifier().fit(known_X, ["known", "known"]),
+        kernel_names=["k1", "k2"],
+        known_feature_names=("f0",),
+        gathered_feature_names=("g0",),
+        training_size=2,
+    )
+    return models, save_models(models, tmp_path / "model.json")
+
+
+def test_cli_codegen_writes_a_python_module(tmp_path, capsys):
+    _, model_path = _tiny_saved_model(tmp_path)
+    output = tmp_path / "selector_out.py"
+    assert main(
+        ["codegen", "--model", str(model_path), "--output", str(output)]
+    ) == 0
+    assert "wrote py selector" in capsys.readouterr().out
+    assert "def known_classifier" in output.read_text()
+
+
+def test_cli_codegen_install_caches_next_to_the_model(tmp_path, capsys):
+    models, model_path = _tiny_saved_model(tmp_path)
+    assert main(["codegen", "--model", str(model_path), "--install"]) == 0
+    out = capsys.readouterr().out
+    assert "installed codegen selector" in out
+    selector = model_path.parent / "selector.py"
+    from repro.serving.backends import render_selector_module
+
+    assert selector.read_text(encoding="utf-8") == render_selector_module(models)
+
+
+def test_cli_codegen_install_requires_python(tmp_path):
+    _, model_path = _tiny_saved_model(tmp_path)
+    with pytest.raises(SystemExit, match="use --language py"):
+        main(
+            ["codegen", "--model", str(model_path), "--language", "cpp",
+             "--install"]
+        )
+
+
+def test_parser_accepts_backend_and_measurement_mode_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--daemon", "--model", "m.json", "--backend", "codegen",
+         "--precision", "fast", "--timing-mode", "batched"]
+    )
+    assert args.backend == "codegen"
+    assert args.precision == "fast" and args.timing_mode == "batched"
+    args = parser.parse_args(["sweep", "--profile", "tiny", "--precision", "fast"])
+    assert args.precision == "fast"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["serve", "--model", "m.json", "--backend", "bogus"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "--precision", "approximate"])
